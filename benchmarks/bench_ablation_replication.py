@@ -1,0 +1,97 @@
+"""Ablation: what the separation of agreement from execution actually buys.
+
+This is not a figure in the paper, but it quantifies the design claims the
+paper makes in Sections 3 and 5.3 on our substrate:
+
+* execution-replica count: 2g + 1 vs the coupled architecture's 3f + 1 --
+  measured as application executions per client request;
+* machine counts for each deployment (paper Section 5.3's accounting);
+* per-request cryptographic operation counts across the whole system.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_config, print_section
+from repro.analysis import format_table
+from repro.apps.counter import CounterService, increment
+from repro.config import AuthenticationScheme, Deployment, SystemConfig
+from repro.core import CoupledSystem, SeparatedSystem
+
+REQUESTS = 15
+
+
+def _run(system):
+    for _ in range(REQUESTS):
+        system.invoke(increment(1))
+    system.run(200.0)
+    return system
+
+
+def _app_executions(system, coupled: bool) -> int:
+    if coupled:
+        return sum(executor.requests_executed for executor in system.executors)
+    return sum(node.requests_executed for node in system.execution_nodes)
+
+
+def test_ablation_execution_work_per_request(benchmark):
+    """Separation cuts application executions per request from 4 to 3 (f=g=1)."""
+    def run_both():
+        coupled = _run(CoupledSystem(bench_config(deployment=Deployment.SAME),
+                                     CounterService, seed=108))
+        separated = _run(SeparatedSystem(bench_config(), CounterService, seed=108))
+        return coupled, separated
+
+    coupled, separated = benchmark.pedantic(run_both, iterations=1, rounds=1)
+    coupled_per_request = _app_executions(coupled, True) / REQUESTS
+    separated_per_request = _app_executions(separated, False) / REQUESTS
+    print_section("Ablation: application executions per client request")
+    print(format_table(["architecture", "executions/request"],
+                       [["coupled (BASE, 3f+1 = 4)", coupled_per_request],
+                        ["separated (2g+1 = 3)", separated_per_request]]))
+    assert coupled_per_request == pytest.approx(4.0, abs=0.2)
+    assert separated_per_request == pytest.approx(3.0, abs=0.2)
+
+
+def test_ablation_machine_counts(benchmark):
+    """Machine accounting from Section 5.3 for one tolerated fault."""
+    # Keep this table-producing check visible under --benchmark-only by
+    # registering a (trivial) timing round with the benchmark fixture.
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    rows = []
+    for label, config in [
+        ("BASE (coupled)", SystemConfig.base_coupled()),
+        ("Separate (shared machines)", SystemConfig.separate_same_mac()),
+        ("Separate (distinct machines)", SystemConfig.separate_different_mac()),
+        ("Separate + privacy firewall", SystemConfig.privacy_firewall()),
+    ]:
+        rows.append([label, config.num_agreement_nodes, config.num_execution_nodes,
+                     config.num_firewall_nodes, config.total_server_machines])
+    print_section("Ablation: cluster and machine counts (f = g = h = 1)")
+    print(format_table(["deployment", "agreement", "execution", "filters", "machines"],
+                       rows))
+    firewall = SystemConfig.privacy_firewall()
+    assert firewall.total_server_machines == 9
+    assert SystemConfig.separate_same_mac().total_server_machines == 4
+
+
+def test_ablation_crypto_operation_mix(benchmark):
+    """Threshold reply certificates trade MAC operations for expensive
+    public-key work; MAC configurations do no public-key work at all."""
+    # Keep this table-producing check visible under --benchmark-only by
+    # registering a (trivial) timing round with the benchmark fixture.
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    mac_system = _run(SeparatedSystem(bench_config(), CounterService, seed=109))
+    thresh_system = _run(SeparatedSystem(
+        bench_config(authentication=AuthenticationScheme.THRESHOLD),
+        CounterService, seed=109))
+    mac_ops = mac_system.crypto_op_totals()
+    thresh_ops = thresh_system.crypto_op_totals()
+    print_section(f"Ablation: crypto operations for {REQUESTS} requests")
+    keys = sorted(set(mac_ops) | set(thresh_ops))
+    print(format_table(["operation", "Separate/MAC", "Separate/Thresh"],
+                       [[k, mac_ops.get(k, 0), thresh_ops.get(k, 0)] for k in keys]))
+    assert mac_ops.get("threshold_share", 0) == 0
+    assert thresh_ops.get("threshold_share", 0) >= REQUESTS * 3
+    assert mac_ops.get("mac_sign", 0) > 0

@@ -1,0 +1,109 @@
+"""Figure 3: null-server latency for three request/reply sizes.
+
+The paper reports the average latency of the null server for request/reply
+sizes 40/40, 40/4096, and 4096/40 bytes under five configurations:
+
+* BASE/Same/MAC            -- the coupled baseline,
+* Separate/Same/MAC        -- separated architecture, shared machines,
+* Separate/Different/MAC   -- separated architecture, distinct machines,
+* Separate/Different/Thresh-- threshold-signature reply certificates,
+* Priv/Different/Thresh    -- full privacy firewall.
+
+Paper shape to reproduce: MAC-based configurations stay within a few
+milliseconds of the baseline; switching reply certificates to threshold
+signatures raises latency to ~15-20 ms (one threshold signature per reply);
+the privacy firewall adds a few more milliseconds on top.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_config, print_section
+from repro.analysis import format_table
+from repro.apps.null_service import NullService
+from repro.config import AuthenticationScheme, Deployment
+from repro.core import CoupledSystem, SeparatedSystem
+from repro.workloads import run_latency_benchmark
+
+SIZES = [(40, 40), (40, 4096), (4096, 40)]
+REQUESTS = 30
+WARMUP = 5
+
+
+def configurations():
+    return [
+        ("BASE/Same/MAC", "coupled",
+         bench_config(deployment=Deployment.SAME)),
+        ("Separate/Same/MAC", "separated",
+         bench_config(deployment=Deployment.SAME)),
+        ("Separate/Different/MAC", "separated",
+         bench_config(deployment=Deployment.DIFFERENT)),
+        ("Separate/Different/Thresh", "separated",
+         bench_config(deployment=Deployment.DIFFERENT,
+                      authentication=AuthenticationScheme.THRESHOLD)),
+        ("Priv/Different/Thresh", "separated",
+         bench_config(deployment=Deployment.DIFFERENT,
+                      authentication=AuthenticationScheme.THRESHOLD,
+                      use_privacy_firewall=True)),
+    ]
+
+
+def build_system(kind, config, seed=101):
+    if kind == "coupled":
+        return CoupledSystem(config, NullService, seed=seed)
+    return SeparatedSystem(config, NullService, seed=seed)
+
+
+def run_cell(label, kind, config, request_bytes, reply_bytes):
+    system = build_system(kind, config)
+    return run_latency_benchmark(system, label=label, request_bytes=request_bytes,
+                                 reply_bytes=reply_bytes, requests=REQUESTS,
+                                 warmup=WARMUP)
+
+
+@pytest.mark.parametrize("request_bytes,reply_bytes", SIZES,
+                         ids=[f"{a}B-{b}B" for a, b in SIZES])
+@pytest.mark.parametrize("label,kind,config", configurations(),
+                         ids=[c[0] for c in configurations()])
+def test_fig3_latency(benchmark, label, kind, config, request_bytes, reply_bytes):
+    """One bar of Figure 3: mean latency for one configuration and size."""
+    result = benchmark.pedantic(
+        run_cell, args=(label, kind, config, request_bytes, reply_bytes),
+        iterations=1, rounds=1)
+    benchmark.extra_info["virtual_latency_ms"] = result.mean_ms
+    print(f"\n[Fig3] {result.row()}")
+    assert result.mean_ms > 0
+
+
+def test_fig3_summary_table(benchmark):
+    """Regenerate the whole figure as a table and check its shape."""
+    # Keep this table-producing check visible under --benchmark-only by
+    # registering a (trivial) timing round with the benchmark fixture.
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    print_section("Figure 3: null-server latency (virtual ms, mean of "
+                  f"{REQUESTS} requests)")
+    rows = []
+    means = {}
+    for label, kind, config in configurations():
+        for request_bytes, reply_bytes in SIZES:
+            result = run_cell(label, kind, config, request_bytes, reply_bytes)
+            rows.append([label, f"{request_bytes}/{reply_bytes}",
+                         result.mean_ms, result.median_ms, result.p95_ms])
+            means[(label, request_bytes, reply_bytes)] = result.mean_ms
+    print(format_table(["configuration", "req/reply B", "mean ms", "median ms", "p95 ms"],
+                       rows))
+
+    # Shape assertions mirroring the paper's qualitative findings.
+    for size in SIZES:
+        mac = means[("Separate/Different/MAC", *size)]
+        thresh = means[("Separate/Different/Thresh", *size)]
+        firewall = means[("Priv/Different/Thresh", *size)]
+        base = means[("BASE/Same/MAC", *size)]
+        # Threshold signatures dominate latency (~15 ms per reply).
+        assert thresh > mac + 8.0
+        # The privacy firewall adds a few ms on top of threshold signatures.
+        assert firewall > thresh
+        assert firewall < thresh + 15.0
+        # MAC-based separation stays within a few ms of the coupled baseline.
+        assert mac < base + 6.0

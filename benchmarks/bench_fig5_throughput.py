@@ -1,0 +1,107 @@
+"""Figure 5: response time vs offered load as request bundling varies.
+
+The paper drives the privacy-firewall system (1 KB requests and replies, null
+server) with an open-loop client population and sweeps the offered load for
+bundle sizes 1, 2, 3, and 5.  Shape to reproduce:
+
+* without bundling the system saturates at ~60 requests/second because every
+  reply costs each execution replica a 15 ms threshold-signature operation;
+* doubling the bundle size roughly doubles the saturation throughput;
+* bundles of 3+ push the knee out to the point where other costs dominate;
+* below saturation the response time stays flat, and it blows up past the knee.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_config, print_section
+from repro.analysis import format_table
+from repro.apps.null_service import NullService
+from repro.config import AuthenticationScheme
+from repro.core import SeparatedSystem
+from repro.workloads import run_open_loop
+
+BUNDLE_SIZES = [1, 2, 3, 5]
+LOADS_RPS = [20, 60, 120, 160]
+DURATION_MS = 1_500.0
+NUM_CLIENTS = 16
+
+
+def build_system(bundle_size: int, seed: int = 105) -> SeparatedSystem:
+    # The paper's prototype uses *static* bundles: the primary waits to fill a
+    # bundle before running agreement (which is why larger bundles raise
+    # latency at low load).  A long partial-bundle flush timeout models that;
+    # with bundle_size == 1 batches are issued immediately as usual.
+    import dataclasses
+
+    timers = bench_config().timers
+    if bundle_size > 1:
+        timers = dataclasses.replace(timers, batch_timeout_ms=100.0)
+    config = bench_config(bundle_size=bundle_size, num_clients=NUM_CLIENTS,
+                          authentication=AuthenticationScheme.THRESHOLD,
+                          use_privacy_firewall=True, timers=timers)
+    return SeparatedSystem(config, NullService, seed=seed)
+
+
+def sweep(bundle_size: int):
+    rows = []
+    for load in LOADS_RPS:
+        system = build_system(bundle_size)
+        result = run_open_loop(system, offered_load_rps=load, duration_ms=DURATION_MS,
+                               request_bytes=1024, reply_bytes=1024, drain_ms=2_000.0)
+        rows.append(result)
+    return rows
+
+
+@pytest.mark.parametrize("bundle_size", BUNDLE_SIZES, ids=[f"bundle={b}" for b in BUNDLE_SIZES])
+def test_fig5_load_sweep(benchmark, bundle_size):
+    """One Figure 5 series: response time vs offered load for a bundle size."""
+    results = benchmark.pedantic(sweep, args=(bundle_size,), iterations=1, rounds=1)
+    print_section(f"Figure 5 series: bundle size {bundle_size} "
+                  "(offered load vs achieved throughput and response time)")
+    print(format_table(
+        ["offered rps", "achieved rps", "mean response ms", "p95 ms", "max util"],
+        [[r.offered_load_rps, r.achieved_throughput_rps, r.mean_response_ms,
+          r.p95_response_ms, r.max_server_utilization] for r in results]))
+    benchmark.extra_info["achieved_at_max_load"] = results[-1].achieved_throughput_rps
+    assert all(r.completed > 0 for r in results)
+
+
+def test_fig5_bundling_raises_saturation_throughput(benchmark):
+    """The headline claim: bundle size 1 saturates near ~60 rps; larger
+    bundles raise the saturation point roughly proportionally."""
+    # Keep this table-producing check visible under --benchmark-only by
+    # registering a (trivial) timing round with the benchmark fixture.
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    peak = {}
+    for bundle_size in (1, 2, 5):
+        results = sweep(bundle_size)
+        peak[bundle_size] = max(r.achieved_throughput_rps for r in results)
+    print_section("Figure 5 summary: peak achieved throughput by bundle size")
+    print(format_table(["bundle size", "peak achieved rps"],
+                       [[b, peak[b]] for b in sorted(peak)]))
+    # Bundle=1 saturates in the right neighbourhood (paper: 62 rps; the
+    # threshold signature is 15 ms, so the ceiling is ~66 rps per replica).
+    assert 40 <= peak[1] <= 90
+    # Bundling raises throughput substantially.
+    assert peak[2] > 1.5 * peak[1]
+    assert peak[5] > 2.0 * peak[1]
+
+
+def test_fig5_response_time_flat_below_saturation(benchmark):
+    """Below the knee, response time is close to the unloaded latency."""
+    # Keep this table-producing check visible under --benchmark-only by
+    # registering a (trivial) timing round with the benchmark fixture.
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    system = build_system(1)
+    light = run_open_loop(system, offered_load_rps=20, duration_ms=DURATION_MS,
+                          request_bytes=1024, reply_bytes=1024)
+    system = build_system(1)
+    heavy = run_open_loop(system, offered_load_rps=160, duration_ms=DURATION_MS,
+                          request_bytes=1024, reply_bytes=1024, drain_ms=4_000.0)
+    print_section("Figure 5: response time below vs past saturation (bundle=1)")
+    print(format_table(["offered rps", "mean response ms"],
+                       [[20, light.mean_response_ms], [160, heavy.mean_response_ms]]))
+    assert light.mean_response_ms < 80.0
+    assert heavy.mean_response_ms > 2 * light.mean_response_ms

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""A confidential key-value store behind the privacy firewall.
+
+This example builds the full privacy-firewall deployment from Section 4 of
+the paper: threshold-signed reply certificates, an ``(h+1) x (h+1)`` filter
+array between the agreement and execution clusters, and end-to-end encrypted
+request/reply bodies that only clients and execution nodes can read.
+
+It then plays the adversary twice:
+
+1. one execution replica is made Byzantine and reports corrupted values --
+   the reply quorum masks it and clients keep seeing correct data;
+2. another replica tries to leak plaintext reply bodies -- the tampered
+   replies cannot gather a threshold signature, so correct filters drop them,
+   and a network auditor confirms that nothing readable ever crossed the
+   firewall boundary.
+
+Run with:  python examples/confidential_kvstore.py
+"""
+
+from repro import SeparatedSystem, SystemConfig
+from repro.apps.kvstore import KeyValueStore, get, put
+from repro.faults import CorruptReplyBehaviour, LeakPlaintextBehaviour, make_byzantine
+from repro.firewall.confidentiality import ConfidentialityAuditor
+
+
+def build_system(seed: int = 7) -> SeparatedSystem:
+    config = SystemConfig.privacy_firewall(num_clients=2)
+    return SeparatedSystem(config, KeyValueStore, seed=seed)
+
+
+def install_auditor(system: SeparatedSystem) -> ConfidentialityAuditor:
+    sources = ([node.node_id for node in system.firewall.nodes]
+               + [replica.node_id for replica in system.agreement_replicas])
+    destinations = ([client.node_id for client in system.clients]
+                    + [replica.node_id for replica in system.agreement_replicas])
+    auditor = ConfidentialityAuditor(sources, destinations)
+    auditor.install(system.network)
+    return auditor
+
+
+def main() -> None:
+    system = build_system()
+    auditor = install_auditor(system)
+    firewall = system.firewall
+    print("Privacy firewall deployment:")
+    print(f"  filter grid        : {len(firewall.rows)} rows x {len(firewall.rows[0])} columns")
+    print(f"  total machines     : {system.config.total_server_machines}")
+    print()
+
+    print("Storing confidential records...")
+    system.invoke(put("alice/ssn", "123-45-6789"))
+    system.invoke(put("bob/diagnosis", "classified"))
+    record = system.invoke(get("alice/ssn"))
+    print(f"  client reads alice/ssn -> {record.result.value['value']!r} "
+          f"({record.latency_ms:.1f} virtual ms)")
+    print()
+
+    print("Adversary 1: execution replica E1 reports corrupted values")
+    make_byzantine(system, CorruptReplyBehaviour(system.execution_nodes[1].node_id))
+    record = system.invoke(get("bob/diagnosis"))
+    print(f"  client still reads    -> {record.result.value['value']!r}")
+    print()
+
+    # A fresh deployment for the second adversary: each deployment tolerates
+    # one faulty execution replica (g = 1), and the previous one already has one.
+    print("Adversary 2: execution replica E2 strips encryption to leak plaintext")
+    system = build_system(seed=8)
+    auditor = install_auditor(system)
+    system.invoke(put("alice/ssn", "123-45-6789"))
+    leak = make_byzantine(system, LeakPlaintextBehaviour(system.execution_nodes[2].node_id))
+    system.invoke(get("alice/ssn"))
+    system.run(200.0)
+    print(f"  tampered messages sent by E2 : {leak.messages_affected}")
+    print(f"  plaintext observed below the firewall boundary: "
+          f"{'NONE' if auditor.clean else [l.description for l in auditor.leaks]}")
+    print()
+    print("Output-set confidentiality held: every reply that crossed the "
+          "boundary was encrypted and matched the agreed execution.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: replicate a tiny counter service with separated agreement/execution.
+
+Builds the paper's architecture (4 agreement replicas with message queues,
+3 execution replicas, MAC-authenticated certificates) on the simulated
+network, issues a few requests, and prints the replies and their virtual
+latencies.  Then it crashes one execution replica and shows that the service
+keeps answering correctly -- the core of the paper's claim that only
+``2g + 1`` execution replicas are needed to tolerate ``g`` faults.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import SeparatedSystem, SystemConfig
+from repro.apps.counter import CounterService, increment, read_counter
+
+
+def main() -> None:
+    config = SystemConfig.separate_different_mac(num_clients=2)
+    system = SeparatedSystem(config, CounterService, seed=1)
+
+    print("Deployment:")
+    print(f"  agreement replicas : {config.num_agreement_nodes}  (3f+1, f={config.f})")
+    print(f"  execution replicas : {config.num_execution_nodes}  (2g+1, g={config.g})")
+    print()
+
+    print("Issuing five increments from client C0:")
+    for i in range(5):
+        record = system.invoke(increment(1))
+        print(f"  increment -> counter={record.result.value}   "
+              f"latency={record.latency_ms:.2f} virtual ms   seq={record.seq}")
+
+    print()
+    print("Crashing execution replica E0 (within the g=1 fault bound)...")
+    system.crash_execution(0)
+    for i in range(3):
+        record = system.invoke(increment(1))
+        print(f"  increment -> counter={record.result.value}   "
+              f"latency={record.latency_ms:.2f} virtual ms")
+
+    final = system.invoke(read_counter())
+    print()
+    print(f"Final counter value: {final.result.value} (expected 8)")
+    print("Crypto operations performed by the server side:")
+    for op, count in sorted(system.crypto_op_totals().items()):
+        print(f"  {op:<24} {count}")
+
+
+if __name__ == "__main__":
+    main()

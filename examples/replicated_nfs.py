@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""A Byzantine fault tolerant NFS service (the paper's macro-benchmark app).
+
+Replicates the in-memory NFS-like file service across the separated
+architecture and runs a shortened Andrew-style workload against it, comparing
+three deployments:
+
+* an unreplicated server (no fault tolerance),
+* the coupled BASE-style baseline (4 combined replicas),
+* the separated architecture with the privacy firewall.
+
+It also demonstrates the oblivious nondeterminism handling from Section 3.1.4:
+file handles and timestamps are derived from the values the agreement cluster
+picked, so all execution replicas agree on them without ever seeing the file
+contents (in the firewall configuration they cannot even read the requests).
+
+Run with:  python examples/replicated_nfs.py
+"""
+
+from repro import CoupledSystem, SeparatedSystem, SystemConfig, UnreplicatedSystem
+from repro.apps.nfs import NfsService, nfs_create, nfs_getattr, nfs_mkdir, nfs_read, nfs_write
+from repro.config import CryptoCosts
+from repro.workloads import AndrewScale, run_andrew
+
+#: the paper assumes hardware-accelerated threshold signatures for NFS runs
+ACCELERATED = CryptoCosts().scaled(0.1)
+SCALE = AndrewScale(directories=2, files_per_directory=2, compile_ms_per_file=1.0)
+
+
+def demo_file_operations() -> None:
+    print("-- basic replicated file operations (separated architecture) --")
+    system = SeparatedSystem(SystemConfig.separate_different_mac(), NfsService, seed=3)
+    system.invoke(nfs_mkdir("/project"))
+    system.invoke(nfs_create("/project/report.txt"))
+    system.invoke(nfs_write("/project/report.txt", 0, 512, data="quarterly numbers"))
+    record = system.invoke(nfs_read("/project/report.txt", 0, 512))
+    print(f"  read back: {record.result.value['data']!r}")
+    attrs = system.invoke(nfs_getattr("/project/report.txt")).result.value["attributes"]
+    print(f"  file handle (derived from agreed nondeterminism): {attrs['handle']}")
+    handles = set()
+    for node in system.execution_nodes:
+        result = node.app.execute(nfs_getattr("/project/report.txt"),
+                                  nondet=__import__("repro").NonDetInput.empty())
+        handles.add(result.value["attributes"]["handle"])
+    print(f"  all {len(system.execution_nodes)} replicas agree on the handle: "
+          f"{len(handles) == 1}")
+    print()
+
+
+def demo_andrew_comparison() -> None:
+    print("-- shortened Andrew workload across deployments (virtual ms) --")
+    systems = {
+        "no replication": UnreplicatedSystem(
+            SystemConfig(f=0, g=0, crypto=ACCELERATED), NfsService, seed=4),
+        "BASE (coupled)": CoupledSystem(
+            SystemConfig.base_coupled(crypto=ACCELERATED), NfsService, seed=4),
+        "privacy firewall": SeparatedSystem(
+            SystemConfig.privacy_firewall(crypto=ACCELERATED), NfsService, seed=4),
+    }
+    results = {}
+    for label, system in systems.items():
+        results[label] = run_andrew(system, label=label, iterations=1, scale=SCALE)
+    header = f"  {'deployment':<18} " + " ".join(f"ph{p:>8}" for p in range(1, 6)) + "      total"
+    print(header)
+    for label, result in results.items():
+        phases = " ".join(f"{result.phase_ms[p]:>9.1f}" for p in range(1, 6))
+        print(f"  {label:<18} {phases} {result.total_ms:>10.1f}")
+    base = results["BASE (coupled)"].total_ms
+    firewall = results["privacy firewall"].total_ms
+    print(f"\n  firewall / BASE total time: {firewall / base:.2f}x "
+          "(paper reports ~1.16x on its hardware)")
+
+
+def main() -> None:
+    demo_file_operations()
+    demo_andrew_comparison()
+
+
+if __name__ == "__main__":
+    main()

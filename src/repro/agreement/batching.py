@@ -1,0 +1,89 @@
+"""Request batching ("bundles").
+
+The BASE library bundles requests when load is high and runs agreement once
+per bundle; the paper additionally signs reply bundles with a single
+threshold signature so that the expensive public-key operation amortises
+across all the replies in the bundle (Section 5.3, Figure 5).
+
+The :class:`Batcher` holds request certificates that have not yet been
+assigned to a batch.  The primary drains it with :meth:`take` when either a
+full bundle is available or the batch timeout expires with at least one
+pending request.  Duplicate requests (same client and timestamp) are folded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..crypto.certificate import Certificate
+from ..messages.request import ClientRequest
+from ..util.ids import NodeId
+
+
+class Batcher:
+    """FIFO of pending request certificates with duplicate suppression."""
+
+    def __init__(self, bundle_size: int) -> None:
+        if bundle_size < 1:
+            raise ValueError("bundle_size must be at least 1")
+        self.bundle_size = bundle_size
+        self._queue: List[Certificate] = []
+        self._keys: Dict[Tuple[NodeId, int], int] = {}
+        self.total_enqueued = 0
+        self.total_batches = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @staticmethod
+    def _key(certificate: Certificate) -> Tuple[NodeId, int]:
+        request: ClientRequest = certificate.payload
+        return (request.client, request.timestamp)
+
+    def add(self, certificate: Certificate) -> bool:
+        """Enqueue a request certificate; returns False if it was a duplicate."""
+        key = self._key(certificate)
+        if key in self._keys:
+            return False
+        self._keys[key] = len(self._queue)
+        self._queue.append(certificate)
+        self.total_enqueued += 1
+        return True
+
+    def contains(self, client: NodeId, timestamp: int) -> bool:
+        return (client, timestamp) in self._keys
+
+    def has_full_bundle(self) -> bool:
+        return len(self._queue) >= self.bundle_size
+
+    def has_work(self) -> bool:
+        return bool(self._queue)
+
+    def take(self, limit: Optional[int] = None) -> List[Certificate]:
+        """Remove and return up to ``limit`` (default ``bundle_size``) requests."""
+        count = min(len(self._queue), limit if limit is not None else self.bundle_size)
+        if count == 0:
+            return []
+        batch = self._queue[:count]
+        self._queue = self._queue[count:]
+        self._keys = {self._key(cert): i for i, cert in enumerate(self._queue)}
+        self.total_batches += 1
+        return batch
+
+    def remove(self, client: NodeId, timestamp: int) -> None:
+        """Drop a pending request (e.g. because it already committed elsewhere)."""
+        key = (client, timestamp)
+        if key not in self._keys:
+            return
+        self._queue = [cert for cert in self._queue if self._key(cert) != key]
+        self._keys = {self._key(cert): i for i, cert in enumerate(self._queue)}
+
+    def pending_requests(self) -> List[Certificate]:
+        """The request certificates currently waiting to be ordered."""
+        return list(self._queue)
+
+    def average_batch_size(self) -> float:
+        """Mean requests per batch taken so far (1.0 if nothing taken yet)."""
+        if self.total_batches == 0:
+            return 1.0
+        return self.total_enqueued / self.total_batches

@@ -1,0 +1,74 @@
+"""The local state machine interface of the agreement library.
+
+The original BASE library executes each agreed request against the
+application state machine hosted on the same node.  The paper's modification
+replaces that state machine with a message queue; our agreement replica is
+written against this small interface so that both the separated architecture
+(message queue) and the coupled baseline (direct executor) plug in without
+touching the agreement protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+from ..crypto.certificate import Certificate
+from ..statemachine.nondet import NonDetInput
+
+
+class RetryOutcome(enum.Enum):
+    """Result of :meth:`LocalExecutor.retry_hint` for a retransmitted request."""
+
+    #: the executor handled the retransmission (sent a cached reply or
+    #: retransmitted the pending certificates); nothing more to do.
+    HANDLED = "handled"
+    #: the executor has no record of the request; the agreement replica must
+    #: run agreement again to assign the (old) request a fresh sequence number.
+    NEED_ORDER = "need-order"
+
+
+class LocalExecutor(ABC):
+    """What the agreement replica 'executes' ordered batches against."""
+
+    @abstractmethod
+    def execute_batch(self, seq: int, view: int,
+                      request_certificates: Tuple[Certificate, ...],
+                      agreement_certificate: Certificate,
+                      nondet: NonDetInput) -> None:
+        """Deliver one agreed batch, in sequence-number order.
+
+        For the message queue this enqueues the batch for asynchronous
+        processing by the execution cluster; for the coupled baseline it runs
+        the requests against the application and replies to clients.
+        """
+
+    @abstractmethod
+    def retry_hint(self, request_certificate: Certificate) -> RetryOutcome:
+        """Handle a client-initiated retransmission of an old request."""
+
+    def checkpoint_digest(self, seq: int) -> bytes:
+        """Digest of the executor state at sequence number ``seq``.
+
+        Used by the agreement cluster's checkpoint protocol.  The message
+        queue's durable state at a checkpoint is fully determined by ``seq``
+        (its reply cache is explicitly excluded from checkpoints), so the
+        default digests the sequence number alone.
+        """
+        from ..crypto.digest import digest
+
+        return digest({"local-state-at": seq})
+
+    def highest_ready_seq(self) -> Optional[int]:
+        """Highest sequence number for which a reply is known.
+
+        The agreement replica uses this for pipeline back-pressure: it will
+        not start agreement for sequence number ``n`` until the executor has
+        seen a reply for ``n - P`` (the paper's pipeline depth ``P``).
+        ``None`` means "no back-pressure information" (coupled baseline).
+        """
+        return None
+
+    def on_stable_checkpoint(self, seq: int) -> None:
+        """Notification that the agreement cluster's checkpoint at ``seq`` is stable."""

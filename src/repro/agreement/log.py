@@ -1,0 +1,140 @@
+"""The agreement replica's message log.
+
+One :class:`LogEntry` per sequence number tracks the pre-prepare, the prepare
+and commit votes received, and the delivery status.  The :class:`AgreementLog`
+also tracks checkpoint votes and the stable checkpoint, and implements the
+watermark window that bounds how far ahead of the stable checkpoint the
+protocol may run (PBFT's ``[h, h + L]`` window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..crypto.certificate import Authenticator, Certificate
+from ..messages.agreement import CommitMsg, Prepare, PrePrepare
+from ..util.ids import NodeId
+
+
+@dataclass
+class LogEntry:
+    """Protocol state for one (view, sequence number) slot."""
+
+    seq: int
+    view: int
+    pre_prepare: Optional[PrePrepare] = None
+    prepares: Dict[NodeId, Prepare] = field(default_factory=dict)
+    commits: Dict[NodeId, CommitMsg] = field(default_factory=dict)
+    commit_authenticators: Dict[NodeId, Authenticator] = field(default_factory=dict)
+    prepared: bool = False
+    committed: bool = False
+    delivered: bool = False
+
+    def batch_digest(self) -> Optional[bytes]:
+        if self.pre_prepare is None:
+            return None
+        return self.pre_prepare.batch_digest
+
+    def prepare_count(self, digest: bytes) -> int:
+        """Distinct replicas that sent a PREPARE for ``digest`` in this slot."""
+        return sum(1 for p in self.prepares.values() if p.batch_digest == digest)
+
+    def commit_count(self, digest: bytes) -> int:
+        """Distinct replicas that sent a COMMIT for ``digest`` in this slot."""
+        return sum(1 for c in self.commits.values() if c.batch_digest == digest)
+
+
+class AgreementLog:
+    """Sequence-number-indexed log plus checkpoint bookkeeping."""
+
+    def __init__(self, checkpoint_interval: int, window: Optional[int] = None) -> None:
+        self.checkpoint_interval = checkpoint_interval
+        #: how far past the stable checkpoint agreement may run
+        self.window = window if window is not None else 2 * checkpoint_interval
+        self._entries: Dict[Tuple[int, int], LogEntry] = {}
+        self.stable_seq = 0
+        self.last_delivered_seq = 0
+        #: per-sequence-number checkpoint votes: seq -> replica -> digest
+        self.checkpoint_votes: Dict[int, Dict[NodeId, bytes]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Entries.
+    # ------------------------------------------------------------------ #
+
+    def entry(self, view: int, seq: int) -> LogEntry:
+        """Get or create the log entry for ``(view, seq)``."""
+        key = (view, seq)
+        if key not in self._entries:
+            self._entries[key] = LogEntry(seq=seq, view=view)
+        return self._entries[key]
+
+    def existing_entry(self, view: int, seq: int) -> Optional[LogEntry]:
+        return self._entries.get((view, seq))
+
+    def entries_for_view(self, view: int) -> List[LogEntry]:
+        return [e for (v, _), e in sorted(self._entries.items()) if v == view]
+
+    def prepared_entries_above(self, seq: int) -> List[LogEntry]:
+        """All prepared-but-possibly-undelivered entries above ``seq``
+        (across views) -- the evidence a view change must carry forward."""
+        best: Dict[int, LogEntry] = {}
+        for (view, entry_seq), entry in self._entries.items():
+            if entry_seq <= seq or not entry.prepared or entry.pre_prepare is None:
+                continue
+            current = best.get(entry_seq)
+            if current is None or view > current.view:
+                best[entry_seq] = entry
+        return [best[s] for s in sorted(best)]
+
+    # ------------------------------------------------------------------ #
+    # Watermarks.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def low_watermark(self) -> int:
+        return self.stable_seq
+
+    @property
+    def high_watermark(self) -> int:
+        return self.stable_seq + self.window
+
+    def in_watermarks(self, seq: int) -> bool:
+        return self.low_watermark < seq <= self.high_watermark
+
+    # ------------------------------------------------------------------ #
+    # Checkpoints.
+    # ------------------------------------------------------------------ #
+
+    def is_checkpoint_seq(self, seq: int) -> bool:
+        return seq % self.checkpoint_interval == 0
+
+    def add_checkpoint_vote(self, seq: int, replica: NodeId, digest: bytes) -> None:
+        self.checkpoint_votes.setdefault(seq, {})[replica] = digest
+
+    def checkpoint_support(self, seq: int, digest: bytes) -> int:
+        votes = self.checkpoint_votes.get(seq, {})
+        return sum(1 for d in votes.values() if d == digest)
+
+    def mark_stable(self, seq: int) -> None:
+        """Advance the stable checkpoint and garbage collect older state."""
+        if seq <= self.stable_seq:
+            return
+        self.stable_seq = seq
+        self._entries = {
+            key: entry for key, entry in self._entries.items() if key[1] > seq
+        }
+        self.checkpoint_votes = {
+            s: votes for s, votes in self.checkpoint_votes.items() if s > seq
+        }
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers used by tests.
+    # ------------------------------------------------------------------ #
+
+    def size(self) -> int:
+        """Number of live log entries (post garbage collection)."""
+        return len(self._entries)
+
+    def delivered_count(self) -> int:
+        return sum(1 for entry in self._entries.values() if entry.delivered)

@@ -1,0 +1,585 @@
+"""The agreement replica.
+
+Each of the ``3f + 1`` agreement nodes runs an :class:`AgreementReplica`,
+which implements a PBFT-style three-phase protocol (following Castro &
+Liskov, as the BASE library does):
+
+1. the primary of the current view assigns the next sequence number to a
+   batch of request certificates and multicasts a ``PRE-PREPARE``;
+2. backups validate it (correct primary, view, watermarks, request
+   authenticity, batch digest, sane nondeterminism proposal) and multicast
+   ``PREPARE``;
+3. once a replica has the pre-prepare and ``2f`` matching prepares it is
+   *prepared* and multicasts ``COMMIT`` carrying its authenticator over the
+   agreement-certificate body;
+4. once it has ``2f + 1`` matching commits it is *committed*: it assembles
+   the agreement certificate ``<COMMIT, v, n, d, A>_{A,E,2f+1}`` out of the
+   commit authenticators and "executes" the batch against its local state
+   machine (message queue or direct executor) in sequence-number order.
+
+The replica also implements checkpointing with watermarks, garbage
+collection, and a view-change protocol that re-proposes prepared batches so
+that an agreed ordering survives a faulty primary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..config import AuthenticationScheme, SystemConfig
+from ..crypto.certificate import Certificate
+from ..crypto.keys import Keystore
+from ..crypto.provider import CryptoProvider
+from ..errors import ProtocolError
+from ..messages.agreement import (
+    AgreementCertBody,
+    AgreementCheckpoint,
+    CommitMsg,
+    NewView,
+    Prepare,
+    PreparedProof,
+    PrePrepare,
+    ViewChange,
+)
+from ..messages.reply import BatchReply
+from ..messages.request import ClientRequest, RequestEnvelope
+from ..net.message import Message
+from ..sim.process import Process
+from ..sim.scheduler import Scheduler, Timer
+from ..statemachine.nondet import NonDeterminismResolver, NonDetInput
+from ..util.ids import NodeId
+from .batching import Batcher
+from .local import LocalExecutor, RetryOutcome
+from .log import AgreementLog, LogEntry
+
+
+class AgreementReplica(Process):
+    """One replica of the BASE-style agreement cluster."""
+
+    def __init__(self, node_id: NodeId, scheduler: Scheduler, config: SystemConfig,
+                 keystore: Keystore, local: LocalExecutor,
+                 agreement_ids: List[NodeId], client_ids: List[NodeId],
+                 cert_verifiers: Optional[List[NodeId]] = None) -> None:
+        super().__init__(node_id, scheduler)
+        self.config = config
+        self.local = local
+        self.agreement_ids = list(agreement_ids)
+        self.client_ids = list(client_ids)
+        #: every node that must be able to verify agreement certificates
+        #: (agreement peers, execution nodes, and firewall filters).
+        self.cert_verifiers = list(cert_verifiers or agreement_ids)
+        self.crypto = CryptoProvider(node_id, keystore, config.crypto,
+                                     charge=self.charge,
+                                     record=self.stats.record_crypto)
+        self.index = self.agreement_ids.index(node_id)
+        self.f = config.f
+
+        self.view = 0
+        self.next_seq = 1
+        self.log = AgreementLog(config.checkpoint_interval)
+        self.batcher = Batcher(config.bundle_size)
+        self.nondet = NonDeterminismResolver()
+
+        #: highest timestamp ordered (assigned a sequence number) per client
+        self.ordered_timestamp: Dict[NodeId, int] = {}
+        #: client requests whose delivery we are waiting for (liveness timer)
+        self._request_deadlines: Dict[Tuple[NodeId, int], Timer] = {}
+        self._batch_timer: Optional[Timer] = None
+
+        # View change state.
+        self._view_change_votes: Dict[int, Dict[NodeId, ViewChange]] = {}
+        self._view_changing = False
+        self._target_view = 0
+
+        # Statistics used by benchmarks.
+        self.batches_delivered = 0
+        self.requests_delivered = 0
+        self.view_changes_completed = 0
+
+    # ------------------------------------------------------------------ #
+    # Role helpers.
+    # ------------------------------------------------------------------ #
+
+    def primary_of(self, view: int) -> NodeId:
+        """The primary replica for ``view`` (round-robin rotation)."""
+        return self.agreement_ids[view % len(self.agreement_ids)]
+
+    @property
+    def is_primary(self) -> bool:
+        return self.primary_of(self.view) == self.node_id
+
+    # ------------------------------------------------------------------ #
+    # Message dispatch.
+    # ------------------------------------------------------------------ #
+
+    def on_message(self, sender: NodeId, message: Message) -> None:
+        if isinstance(message, RequestEnvelope):
+            self.handle_request(sender, message)
+        elif isinstance(message, PrePrepare):
+            self.handle_pre_prepare(sender, message)
+        elif isinstance(message, Prepare):
+            self.handle_prepare(sender, message)
+        elif isinstance(message, CommitMsg):
+            self.handle_commit(sender, message)
+        elif isinstance(message, AgreementCheckpoint):
+            self.handle_checkpoint(sender, message)
+        elif isinstance(message, ViewChange):
+            self.handle_view_change(sender, message)
+        elif isinstance(message, NewView):
+            self.handle_new_view(sender, message)
+        elif isinstance(message, BatchReply):
+            # Separated architecture: reply certificates from the execution
+            # cluster (possibly via the privacy firewall) are handled by the
+            # message queue installed as the local state machine.
+            handler = getattr(self.local, "on_batch_reply", None)
+            if handler is not None:
+                handler(sender, message)
+        else:
+            # Unknown or corrupted messages are dropped silently, as the
+            # Byzantine fault model requires correct nodes to tolerate
+            # arbitrary garbage.
+            return
+
+    # ------------------------------------------------------------------ #
+    # Client requests.
+    # ------------------------------------------------------------------ #
+
+    def handle_request(self, sender: NodeId, envelope: RequestEnvelope) -> None:
+        certificate = envelope.certificate
+        request = certificate.payload
+        if not isinstance(request, ClientRequest):
+            return
+        if request.client not in self.client_ids:
+            return
+        if not self.crypto.verify_certificate(certificate, 1, [request.client]):
+            return
+
+        last_ordered = self.ordered_timestamp.get(request.client, -1)
+        if request.timestamp <= last_ordered:
+            # Retransmission of a request we have already ordered: let the
+            # local state machine serve a cached reply or resend pending
+            # certificates; only re-run agreement if it has no trace of it.
+            outcome = self.local.retry_hint(certificate)
+            if outcome is RetryOutcome.HANDLED:
+                return
+        self._admit_request(certificate, request)
+
+    def _admit_request(self, certificate: Certificate, request: ClientRequest) -> None:
+        added = self.batcher.add(certificate)
+        if not added:
+            return
+        self._arm_request_deadline(request)
+        if self.is_primary:
+            self.maybe_make_batch()
+        else:
+            # Forward to the primary so a request sent to a backup still makes
+            # progress (Castro-Liskov optimisation); the deadline timer
+            # triggers a view change if the primary never orders it.
+            self.send(self.primary_of(self.view),
+                      RequestEnvelope(certificate=certificate))
+
+    def _arm_request_deadline(self, request: ClientRequest) -> None:
+        key = (request.client, request.timestamp)
+        if key in self._request_deadlines and self._request_deadlines[key].active:
+            return
+        timer = self.set_timer(
+            self.config.timers.view_change_ms,
+            lambda key=key: self._on_request_timeout(key),
+            label=f"{self.node_id}:request-deadline",
+        )
+        self._request_deadlines[key] = timer
+
+    def _clear_request_deadline(self, client: NodeId, timestamp: int) -> None:
+        for key in [k for k in self._request_deadlines
+                    if k[0] == client and k[1] <= timestamp]:
+            self._request_deadlines[key].cancel()
+            del self._request_deadlines[key]
+
+    def _on_request_timeout(self, key: Tuple[NodeId, int]) -> None:
+        if key not in self._request_deadlines:
+            return
+        del self._request_deadlines[key]
+        client, timestamp = key
+        if self.ordered_timestamp.get(client, -1) >= timestamp:
+            return
+        self.start_view_change(self.view + 1)
+
+    # ------------------------------------------------------------------ #
+    # Primary: batching and PRE-PREPARE.
+    # ------------------------------------------------------------------ #
+
+    def maybe_make_batch(self) -> None:
+        """Create a batch now if a full bundle is ready, else arm the batch timer."""
+        if not self.is_primary or self._view_changing:
+            return
+        while self.batcher.has_full_bundle() and self._can_start(self.next_seq):
+            self._make_batch()
+        if self.batcher.has_work() and (self._batch_timer is None
+                                        or not self._batch_timer.active):
+            self._batch_timer = self.set_timer(
+                self.config.timers.batch_timeout_ms,
+                self._on_batch_timeout,
+                label=f"{self.node_id}:batch-timeout",
+            )
+
+    def _on_batch_timeout(self) -> None:
+        if not self.is_primary or self._view_changing:
+            return
+        while self.batcher.has_work() and self._can_start(self.next_seq):
+            self._make_batch()
+        if self.batcher.has_work():
+            # Pipeline is full: try again shortly.
+            self._batch_timer = self.set_timer(
+                self.config.timers.batch_timeout_ms,
+                self._on_batch_timeout,
+                label=f"{self.node_id}:batch-timeout",
+            )
+
+    def _can_start(self, seq: int) -> bool:
+        """Watermark and pipeline back-pressure check for a new sequence number."""
+        if seq > self.log.high_watermark:
+            return False
+        ready = self.local.highest_ready_seq()
+        floor = ready if ready is not None else self.log.last_delivered_seq
+        return seq <= floor + self.config.pipeline_depth
+
+    def _make_batch(self) -> None:
+        requests = self.batcher.take()
+        if not requests:
+            return
+        seq = self.next_seq
+        self.next_seq += 1
+        batch_digest = self._batch_digest(requests)
+        nondet = self.nondet.propose(self.now, seed=batch_digest)
+        pre_prepare = PrePrepare(view=self.view, seq=seq, batch_digest=batch_digest,
+                                 requests=tuple(requests), nondet=nondet,
+                                 primary=self.node_id)
+        entry = self.log.entry(self.view, seq)
+        entry.pre_prepare = pre_prepare
+        self.multicast(self.agreement_ids, pre_prepare)
+        # The primary's pre-prepare counts as its prepare.
+        self._try_prepared(entry)
+
+    def _batch_digest(self, requests: List[Certificate]) -> bytes:
+        request_digests = [self.crypto.payload_digest(cert.payload) for cert in requests]
+        return self.crypto.digest({"batch": request_digests})
+
+    # ------------------------------------------------------------------ #
+    # Backups: PRE-PREPARE and PREPARE.
+    # ------------------------------------------------------------------ #
+
+    def handle_pre_prepare(self, sender: NodeId, message: PrePrepare) -> None:
+        if message.view != self.view or self._view_changing:
+            return
+        if sender != self.primary_of(self.view) or message.primary != sender:
+            return
+        if not self.log.in_watermarks(message.seq):
+            return
+        entry = self.log.entry(self.view, message.seq)
+        if entry.pre_prepare is not None:
+            if entry.pre_prepare.batch_digest != message.batch_digest:
+                # Equivocating primary: trigger a view change.
+                self.start_view_change(self.view + 1)
+            return
+        if not self._validate_batch(message):
+            return
+        entry.pre_prepare = message
+        self.nondet.accept(message.nondet)
+        prepare = Prepare(view=self.view, seq=message.seq,
+                          batch_digest=message.batch_digest, replica=self.node_id)
+        entry.prepares[self.node_id] = prepare
+        self.multicast(self.agreement_ids, prepare)
+        self._try_prepared(entry)
+
+    def _validate_batch(self, message: PrePrepare) -> bool:
+        """Check request authenticity, digest binding, and nondet sanity."""
+        if not message.requests:
+            return False
+        for certificate in message.requests:
+            request = certificate.payload
+            if not isinstance(request, ClientRequest):
+                return False
+            if request.client not in self.client_ids:
+                return False
+            if not self.crypto.verify_certificate(certificate, 1, [request.client]):
+                return False
+        if self._batch_digest(list(message.requests)) != message.batch_digest:
+            return False
+        if not self.nondet.sanity_check(message.nondet, self.now):
+            return False
+        return True
+
+    def handle_prepare(self, sender: NodeId, message: Prepare) -> None:
+        if message.view != self.view or self._view_changing:
+            return
+        if sender != message.replica or sender not in self.agreement_ids:
+            return
+        if not self.log.in_watermarks(message.seq):
+            return
+        entry = self.log.entry(self.view, message.seq)
+        entry.prepares[sender] = message
+        self._try_prepared(entry)
+
+    def _try_prepared(self, entry: LogEntry) -> None:
+        if entry.prepared or entry.pre_prepare is None:
+            return
+        digest = entry.pre_prepare.batch_digest
+        # The pre-prepare counts as the primary's prepare; we need 2f matching
+        # prepares from other replicas (our own included when we are a backup).
+        others = sum(1 for replica, prepare in entry.prepares.items()
+                     if prepare.batch_digest == digest
+                     and replica != entry.pre_prepare.primary)
+        if others < 2 * self.f:
+            return
+        entry.prepared = True
+        body = self._cert_body(entry)
+        authenticator = self._make_cert_authenticator(body)
+        commit = CommitMsg(view=entry.view, seq=entry.seq, batch_digest=digest,
+                           replica=self.node_id, cert_authenticator=authenticator)
+        entry.commits[self.node_id] = commit
+        entry.commit_authenticators[self.node_id] = authenticator
+        self.multicast(self.agreement_ids, commit)
+        self._try_committed(entry)
+
+    def _cert_body(self, entry: LogEntry) -> AgreementCertBody:
+        assert entry.pre_prepare is not None
+        return AgreementCertBody(view=entry.view, seq=entry.seq,
+                                 batch_digest=entry.pre_prepare.batch_digest,
+                                 nondet=entry.pre_prepare.nondet)
+
+    def _make_cert_authenticator(self, body: AgreementCertBody):
+        """Authenticator over the agreement-certificate body.
+
+        Agreement certificates always use MAC vectors or signatures (threshold
+        signatures are reserved for reply certificates); MAC vectors address
+        every node that may need to verify the certificate.
+        """
+        if self.config.authentication is AuthenticationScheme.SIGNATURE:
+            return self.crypto.sign(body)
+        return self.crypto.mac_authenticator(body, self.cert_verifiers)
+
+    # ------------------------------------------------------------------ #
+    # COMMIT and delivery.
+    # ------------------------------------------------------------------ #
+
+    def handle_commit(self, sender: NodeId, message: CommitMsg) -> None:
+        if message.view != self.view or self._view_changing:
+            return
+        if sender != message.replica or sender not in self.agreement_ids:
+            return
+        if not self.log.in_watermarks(message.seq):
+            return
+        entry = self.log.entry(self.view, message.seq)
+        entry.commits[sender] = message
+        if message.cert_authenticator is not None:
+            entry.commit_authenticators[sender] = message.cert_authenticator
+        self._try_committed(entry)
+
+    def _try_committed(self, entry: LogEntry) -> None:
+        if entry.committed or not entry.prepared or entry.pre_prepare is None:
+            return
+        digest = entry.pre_prepare.batch_digest
+        if entry.commit_count(digest) < 2 * self.f + 1:
+            return
+        entry.committed = True
+        self._deliver_in_order()
+
+    def _deliver_in_order(self) -> None:
+        """Deliver committed batches to the local state machine in order."""
+        while True:
+            next_seq = self.log.last_delivered_seq + 1
+            entry = self._committed_entry(next_seq)
+            if entry is None:
+                return
+            self._deliver(entry)
+
+    def _committed_entry(self, seq: int) -> Optional[LogEntry]:
+        for view in range(self.view, -1, -1):
+            entry = self.log.existing_entry(view, seq)
+            if entry is not None and entry.committed and not entry.delivered:
+                return entry
+        return None
+
+    def _deliver(self, entry: LogEntry) -> None:
+        assert entry.pre_prepare is not None
+        body = self._cert_body(entry)
+        certificate = Certificate(
+            payload=body,
+            scheme=(AuthenticationScheme.SIGNATURE
+                    if self.config.authentication is AuthenticationScheme.SIGNATURE
+                    else AuthenticationScheme.MAC),
+        )
+        for replica, authenticator in entry.commit_authenticators.items():
+            if authenticator.scheme is certificate.scheme:
+                certificate.authenticators[replica] = authenticator
+        self.local.execute_batch(
+            seq=entry.seq, view=entry.view,
+            request_certificates=entry.pre_prepare.requests,
+            agreement_certificate=certificate,
+            nondet=entry.pre_prepare.nondet,
+        )
+        entry.delivered = True
+        self.log.last_delivered_seq = entry.seq
+        self.batches_delivered += 1
+        self.requests_delivered += len(entry.pre_prepare.requests)
+        for request_cert in entry.pre_prepare.requests:
+            request = request_cert.payload
+            previous = self.ordered_timestamp.get(request.client, -1)
+            self.ordered_timestamp[request.client] = max(previous, request.timestamp)
+            self.batcher.remove(request.client, request.timestamp)
+            self._clear_request_deadline(request.client, request.timestamp)
+        if self.log.is_checkpoint_seq(entry.seq):
+            self._emit_checkpoint(entry.seq)
+        if self.is_primary:
+            self.maybe_make_batch()
+
+    # ------------------------------------------------------------------ #
+    # Checkpoints.
+    # ------------------------------------------------------------------ #
+
+    def _emit_checkpoint(self, seq: int) -> None:
+        digest = self.local.checkpoint_digest(seq)
+        message = AgreementCheckpoint(seq=seq, state_digest=digest, replica=self.node_id)
+        self.log.add_checkpoint_vote(seq, self.node_id, digest)
+        self.multicast(self.agreement_ids, message)
+        self._try_stable(seq, digest)
+
+    def handle_checkpoint(self, sender: NodeId, message: AgreementCheckpoint) -> None:
+        if sender != message.replica or sender not in self.agreement_ids:
+            return
+        self.log.add_checkpoint_vote(message.seq, sender, message.state_digest)
+        self._try_stable(message.seq, message.state_digest)
+
+    def _try_stable(self, seq: int, digest: bytes) -> None:
+        if seq <= self.log.stable_seq:
+            return
+        if self.log.checkpoint_support(seq, digest) >= 2 * self.f + 1:
+            self.log.mark_stable(seq)
+            self.local.on_stable_checkpoint(seq)
+
+    # ------------------------------------------------------------------ #
+    # View changes.
+    # ------------------------------------------------------------------ #
+
+    def start_view_change(self, new_view: int) -> None:
+        """Vote to move to ``new_view`` (carrying prepared-batch evidence)."""
+        if new_view <= self.view and self._target_view >= new_view:
+            return
+        self._view_changing = True
+        self._target_view = max(self._target_view, new_view)
+        prepared = tuple(
+            PreparedProof(view=entry.view, seq=entry.seq,
+                          batch_digest=entry.pre_prepare.batch_digest,
+                          requests=entry.pre_prepare.requests,
+                          nondet=entry.pre_prepare.nondet)
+            for entry in self.log.prepared_entries_above(self.log.stable_seq)
+            if entry.pre_prepare is not None and not entry.delivered
+        )
+        vote = ViewChange(new_view=self._target_view,
+                          last_stable_seq=self.log.stable_seq,
+                          prepared=prepared, replica=self.node_id)
+        self._record_view_change(self.node_id, vote)
+        self.multicast(self.agreement_ids, vote)
+        # Escalate if the view change itself stalls.
+        self.set_timer(self.config.timers.view_change_ms * 2,
+                       lambda: self._on_view_change_timeout(self._target_view),
+                       label=f"{self.node_id}:view-change-escalate")
+
+    def _on_view_change_timeout(self, attempted_view: int) -> None:
+        if self.view >= attempted_view:
+            return
+        self.start_view_change(attempted_view + 1)
+
+    def handle_view_change(self, sender: NodeId, message: ViewChange) -> None:
+        if sender != message.replica or sender not in self.agreement_ids:
+            return
+        if message.new_view <= self.view:
+            return
+        self._record_view_change(sender, message)
+        votes = self._view_change_votes.get(message.new_view, {})
+        # Join the view change once f + 1 replicas are already moving: this is
+        # the standard liveness rule that prevents a slow replica from being
+        # left behind.
+        if len(votes) >= self.f + 1 and self._target_view < message.new_view:
+            self.start_view_change(message.new_view)
+        if (self.primary_of(message.new_view) == self.node_id
+                and len(votes) >= 2 * self.f + 1):
+            self._send_new_view(message.new_view)
+
+    def _record_view_change(self, sender: NodeId, message: ViewChange) -> None:
+        self._view_change_votes.setdefault(message.new_view, {})[sender] = message
+
+    def _send_new_view(self, view: int) -> None:
+        if self.view >= view:
+            return
+        votes = self._view_change_votes.get(view, {})
+        # Re-propose every prepared batch reported by any of the 2f + 1 votes,
+        # keeping the highest-view evidence per sequence number.
+        best: Dict[int, PreparedProof] = {}
+        min_stable = 0
+        for vote in votes.values():
+            min_stable = max(min_stable, vote.last_stable_seq)
+            for proof in vote.prepared:
+                current = best.get(proof.seq)
+                if current is None or proof.view > current.view:
+                    best[proof.seq] = proof
+        pre_prepares = tuple(
+            PrePrepare(view=view, seq=proof.seq, batch_digest=proof.batch_digest,
+                       requests=proof.requests, nondet=proof.nondet,
+                       primary=self.node_id)
+            for proof in (best[s] for s in sorted(best))
+            if proof.seq > self.log.last_delivered_seq
+        )
+        new_view = NewView(view=view,
+                           view_change_replicas=tuple(sorted(r.name for r in votes)),
+                           pre_prepares=pre_prepares, primary=self.node_id)
+        self._enter_view(view)
+        self.multicast(self.agreement_ids, new_view)
+        self._adopt_new_view_batches(pre_prepares)
+        self.next_seq = max(self.next_seq, self.log.last_delivered_seq + 1,
+                            max((p.seq for p in pre_prepares), default=0) + 1)
+        # Give the NEW-VIEW a head start so backups are already in the new
+        # view when the first fresh PRE-PREPARE reaches them.
+        self.set_timer(2.0, self.maybe_make_batch,
+                       label=f"{self.node_id}:new-view-batch")
+
+    def handle_new_view(self, sender: NodeId, message: NewView) -> None:
+        if message.view <= self.view:
+            return
+        if sender != self.primary_of(message.view) or message.primary != sender:
+            return
+        self._enter_view(message.view)
+        self._adopt_new_view_batches(message.pre_prepares)
+
+    def _enter_view(self, view: int) -> None:
+        self.view = view
+        self._view_changing = False
+        self._target_view = view
+        self.view_changes_completed += 1
+        self.next_seq = max(self.next_seq, self.log.last_delivered_seq + 1)
+        # Requests that were pending when the view changed must be re-ordered
+        # in the new view; the primary picks them up from the batcher and the
+        # backups re-arm their deadlines so that a still-faulty primary (or a
+        # lost pre-prepare) triggers the next view change.
+        for certificate in self.batcher.pending_requests():
+            request = certificate.payload
+            if isinstance(request, ClientRequest):
+                self._arm_request_deadline(request)
+        if self.is_primary:
+            self.set_timer(2.0, self.maybe_make_batch,
+                           label=f"{self.node_id}:enter-view-batch")
+
+    def _adopt_new_view_batches(self, pre_prepares: Tuple[PrePrepare, ...]) -> None:
+        for pre_prepare in pre_prepares:
+            if pre_prepare.seq <= self.log.last_delivered_seq:
+                continue
+            entry = self.log.entry(pre_prepare.view, pre_prepare.seq)
+            if entry.pre_prepare is None:
+                entry.pre_prepare = pre_prepare
+            if self.node_id != pre_prepare.primary:
+                prepare = Prepare(view=pre_prepare.view, seq=pre_prepare.seq,
+                                  batch_digest=pre_prepare.batch_digest,
+                                  replica=self.node_id)
+                entry.prepares[self.node_id] = prepare
+                self.multicast(self.agreement_ids, prepare)
+            self._try_prepared(entry)

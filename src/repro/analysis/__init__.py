@@ -1,0 +1,29 @@
+"""Analysis: the Figure-4 cost model, metric collection, and report formatting."""
+
+from .cost_model import (
+    CostModelPoint,
+    OperationCounts,
+    SystemCostModel,
+    BASE_COST_MODEL,
+    SEPARATE_COST_MODEL,
+    PRIVACY_COST_MODEL,
+    relative_cost,
+    relative_cost_curve,
+)
+from .metrics import LatencySummary, ThroughputSummary, summarize_latencies
+from .reporting import format_table
+
+__all__ = [
+    "CostModelPoint",
+    "OperationCounts",
+    "SystemCostModel",
+    "BASE_COST_MODEL",
+    "SEPARATE_COST_MODEL",
+    "PRIVACY_COST_MODEL",
+    "relative_cost",
+    "relative_cost_curve",
+    "LatencySummary",
+    "ThroughputSummary",
+    "summarize_latencies",
+    "format_table",
+]

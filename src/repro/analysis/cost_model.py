@@ -1,0 +1,143 @@
+"""The analytic relative-cost model of Section 5.3 / Figure 4.
+
+The paper models the processing cost of one request, relative to an
+unreplicated server, as::
+
+    relativeCost = (numExec * proc_app + overhead_req + overhead_batch / numPerBatch)
+                   / proc_app
+
+where ``overhead_req`` and ``overhead_batch`` are the cryptographic costs
+charged per request and per batch respectively.  The per-system operation
+counts come straight from the paper (to tolerate one fault):
+
+* **BASE**:         4 execution replicas, 8 MAC ops per request, 36 per batch;
+* **Separate**:     3 execution replicas, 7 MAC ops per request, 39 per batch;
+* **Privacy**:      3 execution replicas, 7 MAC ops per request, and per batch
+                    39 MAC ops, 3 threshold signatures, 6 threshold verifications.
+
+MAC operations are assumed to cost 0.2 ms, threshold signing 15 ms, and
+threshold verification 0.7 ms (Section 5.2 measurements), all overridable via
+:class:`repro.config.CryptoCosts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from ..config import CryptoCosts
+
+
+@dataclass(frozen=True)
+class OperationCounts:
+    """Cryptographic operations charged per request and per batch."""
+
+    mac_per_request: float = 0.0
+    mac_per_batch: float = 0.0
+    threshold_sign_per_batch: float = 0.0
+    threshold_verify_per_batch: float = 0.0
+
+    def overhead_request_ms(self, costs: CryptoCosts) -> float:
+        return self.mac_per_request * costs.mac_ms
+
+    def overhead_batch_ms(self, costs: CryptoCosts) -> float:
+        return (self.mac_per_batch * costs.mac_ms
+                + self.threshold_sign_per_batch * costs.threshold_share_ms
+                + self.threshold_verify_per_batch * costs.threshold_verify_ms)
+
+
+@dataclass(frozen=True)
+class SystemCostModel:
+    """Execution-replica count plus operation counts for one architecture."""
+
+    name: str
+    num_execution_replicas: int
+    counts: OperationCounts
+
+
+#: Operation counts from Section 5.3 of the paper (tolerating one fault).
+BASE_COST_MODEL = SystemCostModel(
+    name="BASE",
+    num_execution_replicas=4,
+    counts=OperationCounts(mac_per_request=8, mac_per_batch=36),
+)
+
+SEPARATE_COST_MODEL = SystemCostModel(
+    name="Separate",
+    num_execution_replicas=3,
+    counts=OperationCounts(mac_per_request=7, mac_per_batch=39),
+)
+
+PRIVACY_COST_MODEL = SystemCostModel(
+    name="Separate+Privacy",
+    num_execution_replicas=3,
+    counts=OperationCounts(mac_per_request=7, mac_per_batch=39,
+                           threshold_sign_per_batch=3,
+                           threshold_verify_per_batch=6),
+)
+
+
+@dataclass(frozen=True)
+class CostModelPoint:
+    """One point on a Figure-4 curve."""
+
+    system: str
+    batch_size: int
+    app_processing_ms: float
+    relative_cost: float
+
+
+def relative_cost(model: SystemCostModel, app_processing_ms: float,
+                  batch_size: int, costs: CryptoCosts | None = None) -> float:
+    """The paper's relativeCost formula for one configuration."""
+    if app_processing_ms <= 0:
+        raise ValueError("application processing time must be positive")
+    if batch_size < 1:
+        raise ValueError("batch size must be at least 1")
+    costs = costs or CryptoCosts()
+    numerator = (model.num_execution_replicas * app_processing_ms
+                 + model.counts.overhead_request_ms(costs)
+                 + model.counts.overhead_batch_ms(costs) / batch_size)
+    return numerator / app_processing_ms
+
+
+def relative_cost_curve(model: SystemCostModel, batch_size: int,
+                        app_processing_ms_values: Sequence[float],
+                        costs: CryptoCosts | None = None) -> List[CostModelPoint]:
+    """Sweep application processing time for one system/batch-size curve."""
+    return [
+        CostModelPoint(system=model.name, batch_size=batch_size,
+                       app_processing_ms=app_ms,
+                       relative_cost=relative_cost(model, app_ms, batch_size, costs))
+        for app_ms in app_processing_ms_values
+    ]
+
+
+def crossover_app_processing_ms(model_a: SystemCostModel, model_b: SystemCostModel,
+                                batch_size: int,
+                                costs: CryptoCosts | None = None,
+                                low: float = 0.05, high: float = 500.0) -> float:
+    """Application processing time where the two models' costs cross.
+
+    Returns ``low`` / ``high`` when one model dominates over the whole range.
+    Used to check the paper's claim that with batch size 10 the privacy
+    firewall becomes cheaper than BASE once requests take more than ~5 ms.
+    """
+    costs = costs or CryptoCosts()
+
+    def diff(app_ms: float) -> float:
+        return (relative_cost(model_a, app_ms, batch_size, costs)
+                - relative_cost(model_b, app_ms, batch_size, costs))
+
+    lo, hi = low, high
+    if diff(lo) == 0:
+        return lo
+    if diff(lo) * diff(hi) > 0:
+        return lo if abs(diff(lo)) < abs(diff(hi)) else hi
+    for _ in range(200):
+        mid = (lo + hi) / 2
+        if diff(lo) * diff(mid) <= 0:
+            hi = mid
+        else:
+            lo = mid
+    return (lo + hi) / 2

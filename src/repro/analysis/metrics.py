@@ -1,0 +1,60 @@
+"""Latency and throughput summaries shared by benchmarks and tests."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics over a set of latency samples (milliseconds)."""
+
+    samples: int
+    mean_ms: float
+    median_ms: float
+    p95_ms: float
+    p99_ms: float
+    min_ms: float
+    max_ms: float
+    stdev_ms: float
+
+
+@dataclass(frozen=True)
+class ThroughputSummary:
+    """Requests completed over a measurement window."""
+
+    completed: int
+    window_ms: float
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.window_ms <= 0:
+            return 0.0
+        return self.completed * 1_000.0 / self.window_ms
+
+
+def percentile(sorted_samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of pre-sorted samples."""
+    if not sorted_samples:
+        raise ValueError("percentile of an empty sample set")
+    index = min(len(sorted_samples) - 1, int(fraction * len(sorted_samples)))
+    return sorted_samples[index]
+
+
+def summarize_latencies(latencies_ms: Iterable[float]) -> LatencySummary:
+    """Compute a :class:`LatencySummary` over the given samples."""
+    samples: List[float] = sorted(latencies_ms)
+    if not samples:
+        raise ValueError("cannot summarize an empty latency set")
+    return LatencySummary(
+        samples=len(samples),
+        mean_ms=statistics.fmean(samples),
+        median_ms=statistics.median(samples),
+        p95_ms=percentile(samples, 0.95),
+        p99_ms=percentile(samples, 0.99),
+        min_ms=samples[0],
+        max_ms=samples[-1],
+        stdev_ms=statistics.pstdev(samples) if len(samples) > 1 else 0.0,
+    )

@@ -1,0 +1,14 @@
+"""Replicated applications used by the examples, tests, and benchmarks."""
+
+from .null_service import NullService
+from .counter import CounterService
+from .kvstore import KeyValueStore
+from .nfs import NfsService, NfsError
+
+__all__ = [
+    "NullService",
+    "CounterService",
+    "KeyValueStore",
+    "NfsService",
+    "NfsError",
+]

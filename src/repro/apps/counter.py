@@ -1,0 +1,54 @@
+"""A tiny counter service.
+
+The simplest *stateful* application: useful in tests because divergence
+between replicas (or lost/duplicated executions) is immediately visible in
+the counter value returned to clients.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..statemachine.interface import Operation, OperationResult, StateMachine
+from ..statemachine.nondet import NonDetInput
+
+
+def increment(amount: int = 1) -> Operation:
+    """Operation that adds ``amount`` to the counter and returns the new value."""
+    return Operation(kind="increment", args={"amount": amount})
+
+
+def read_counter() -> Operation:
+    """Operation that returns the current counter value without changing it."""
+    return Operation(kind="read", args={})
+
+
+class CounterService(StateMachine):
+    """A replicated integer counter."""
+
+    def __init__(self, initial: int = 0) -> None:
+        self.value = initial
+        self.operations_applied = 0
+
+    def execute(self, operation: Operation, nondet: NonDetInput) -> OperationResult:
+        self.operations_applied += 1
+        if operation.kind == "increment":
+            amount = int(operation.args.get("amount", 1))
+            self.value += amount
+            return OperationResult(value=self.value, size=8)
+        if operation.kind == "read":
+            return OperationResult(value=self.value, size=8)
+        return OperationResult(value=None, error=f"unknown operation {operation.kind}")
+
+    def checkpoint(self) -> bytes:
+        return json.dumps({"value": self.value,
+                           "operations_applied": self.operations_applied}).encode()
+
+    def restore(self, data: bytes) -> None:
+        state = json.loads(data.decode())
+        self.value = state["value"]
+        self.operations_applied = state["operations_applied"]
+
+    def reset(self) -> None:
+        self.value = 0
+        self.operations_applied = 0

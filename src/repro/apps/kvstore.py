@@ -1,0 +1,101 @@
+"""A replicated key-value store.
+
+Used by the ``confidential_kvstore`` example and by tests that need a state
+machine with a richer operation mix (put/get/delete/list/compare-and-swap)
+than the counter, while remaining fully deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from ..statemachine.interface import Operation, OperationResult, StateMachine
+from ..statemachine.nondet import NonDetInput
+
+
+def put(key: str, value: Any) -> Operation:
+    """Store ``value`` under ``key`` (overwrites)."""
+    return Operation(kind="put", args={"key": key, "value": value},
+                     body_size=64 + len(str(value)))
+
+
+def get(key: str) -> Operation:
+    """Read the value stored under ``key`` (None if absent)."""
+    return Operation(kind="get", args={"key": key}, body_size=64)
+
+
+def delete(key: str) -> Operation:
+    """Remove ``key``; returns whether it existed."""
+    return Operation(kind="delete", args={"key": key}, body_size=64)
+
+
+def compare_and_swap(key: str, expected: Any, value: Any) -> Operation:
+    """Atomically replace ``key``'s value if it currently equals ``expected``."""
+    return Operation(kind="cas", args={"key": key, "expected": expected, "value": value},
+                     body_size=96)
+
+
+def list_keys(prefix: str = "") -> Operation:
+    """List keys starting with ``prefix`` in sorted order."""
+    return Operation(kind="list", args={"prefix": prefix}, body_size=64)
+
+
+class KeyValueStore(StateMachine):
+    """A deterministic in-memory key-value store."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Any] = {}
+        self.operations_applied = 0
+
+    def execute(self, operation: Operation, nondet: NonDetInput) -> OperationResult:
+        self.operations_applied += 1
+        kind = operation.kind
+        args = operation.args
+        if kind == "put":
+            self._data[args["key"]] = args["value"]
+            return OperationResult(value={"stored": True}, size=16)
+        if kind == "get":
+            value = self._data.get(args["key"])
+            return OperationResult(value={"value": value, "found": args["key"] in self._data},
+                                   size=16 + len(str(value)))
+        if kind == "delete":
+            existed = args["key"] in self._data
+            self._data.pop(args["key"], None)
+            return OperationResult(value={"deleted": existed}, size=16)
+        if kind == "cas":
+            current = self._data.get(args["key"])
+            if current == args["expected"]:
+                self._data[args["key"]] = args["value"]
+                return OperationResult(value={"swapped": True, "value": args["value"]}, size=24)
+            return OperationResult(value={"swapped": False, "value": current}, size=24)
+        if kind == "list":
+            prefix = args.get("prefix", "")
+            keys = sorted(k for k in self._data if k.startswith(prefix))
+            return OperationResult(value={"keys": keys}, size=16 + 8 * len(keys))
+        return OperationResult(value=None, error=f"unknown operation {kind}")
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing.
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self) -> bytes:
+        return json.dumps({"data": self._data,
+                           "operations_applied": self.operations_applied},
+                          sort_keys=True).encode()
+
+    def restore(self, data: bytes) -> None:
+        state = json.loads(data.decode())
+        self._data = dict(state["data"])
+        self.operations_applied = state["operations_applied"]
+
+    def reset(self) -> None:
+        self._data.clear()
+        self.operations_applied = 0
+
+    # ------------------------------------------------------------------ #
+    # Direct inspection (tests only; not part of the replicated API).
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, Any]:
+        return dict(self._data)

@@ -1,0 +1,54 @@
+"""The null server used by the paper's microbenchmarks (Sections 5.2-5.3).
+
+It reads a request of a specified size and produces a reply of a specified
+size with no application processing, so every millisecond measured by the
+latency and throughput benchmarks is protocol and cryptography overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..statemachine.interface import Operation, OperationResult, StateMachine
+from ..statemachine.nondet import NonDetInput
+
+
+def null_operation(request_bytes: int = 40, reply_bytes: int = 40,
+                   processing_ms: float = 0.0, tag: int = 0) -> Operation:
+    """Build a null-server operation with modelled request/reply sizes.
+
+    ``tag`` distinguishes otherwise-identical operations so tests can check
+    which request produced which reply.
+    """
+    return Operation(kind="null",
+                     args={"reply_bytes": reply_bytes,
+                           "processing_ms": processing_ms,
+                           "tag": tag},
+                     body_size=request_bytes,
+                     reply_size=reply_bytes)
+
+
+class NullService(StateMachine):
+    """A state machine whose only state is the count of executed requests."""
+
+    def __init__(self) -> None:
+        self.executed = 0
+
+    def execute(self, operation: Operation, nondet: NonDetInput) -> OperationResult:
+        if operation.kind != "null":
+            return OperationResult(value=None, error=f"unknown operation {operation.kind}")
+        self.executed += 1
+        reply_bytes = int(operation.args.get("reply_bytes", operation.reply_size or 0))
+        processing_ms = float(operation.args.get("processing_ms", 0.0))
+        return OperationResult(value={"ok": True, "tag": operation.args.get("tag", 0),
+                                      "count": self.executed},
+                               size=reply_bytes, processing_ms=processing_ms)
+
+    def checkpoint(self) -> bytes:
+        return self.executed.to_bytes(8, "big")
+
+    def restore(self, data: bytes) -> None:
+        self.executed = int.from_bytes(data, "big")
+
+    def reset(self) -> None:
+        self.executed = 0

@@ -1,0 +1,332 @@
+"""System-wide configuration for the separated BFT architecture.
+
+The paper's replication-cost arithmetic is centralised here:
+
+* the agreement cluster needs ``3f + 1`` replicas to tolerate ``f`` Byzantine
+  agreement faults,
+* the execution cluster needs only ``2g + 1`` replicas to tolerate ``g``
+  Byzantine execution faults,
+* the privacy firewall needs ``(h + 1)`` rows of ``(h + 1)`` filters to
+  tolerate ``h`` filter faults,
+* agreement certificates carry ``2f + 1`` authenticators and reply
+  certificates carry ``g + 1`` authenticators (or a single threshold
+  signature standing for ``g + 1`` shares).
+
+:class:`SystemConfig` validates these relations at construction time so that a
+mis-configured deployment fails fast rather than silently losing its fault
+tolerance guarantees.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+
+from .errors import ConfigurationError
+
+
+class AuthenticationScheme(enum.Enum):
+    """The three certificate implementations supported by the protocol."""
+
+    MAC = "mac"
+    SIGNATURE = "signature"
+    THRESHOLD = "threshold"
+
+
+class Deployment(enum.Enum):
+    """How agreement and execution replicas map onto physical machines.
+
+    ``SAME`` co-locates the execution replicas on machines that also run
+    agreement replicas (the Separate/Same configuration of Figure 3);
+    ``DIFFERENT`` places them on disjoint machines.  The distinction only
+    matters for the latency/cost accounting of co-located work.
+    """
+
+    SAME = "same"
+    DIFFERENT = "different"
+
+
+@dataclass(frozen=True)
+class CryptoCosts:
+    """Virtual-time cost (in milliseconds) of each cryptographic operation.
+
+    Defaults follow the measurements reported in Section 5 of the paper:
+    MAC operations cost 0.2 ms (50 MB/s secure hashing of 1 KB packets),
+    producing a threshold signature (i.e. each execution node's share of it)
+    costs 15 ms, and verifying one costs 0.7 ms.  Digest cost is charged per
+    byte at the same 50 MB/s hashing rate.
+    """
+
+    mac_ms: float = 0.2
+    signature_sign_ms: float = 5.0
+    signature_verify_ms: float = 0.7
+    threshold_share_ms: float = 15.0
+    threshold_combine_ms: float = 0.5
+    threshold_verify_ms: float = 0.7
+    digest_bytes_per_ms: float = 50_000.0
+
+    def digest_ms(self, num_bytes: int) -> float:
+        """Return the virtual cost of hashing ``num_bytes`` bytes."""
+        if num_bytes <= 0:
+            return 0.0
+        return num_bytes / self.digest_bytes_per_ms
+
+    def scaled(self, factor: float) -> "CryptoCosts":
+        """Return a copy with every cost multiplied by ``factor``.
+
+        Used to model hardware-accelerated cryptography (the paper assumes
+        hardware threshold-signature support for the Andrew benchmarks).
+        """
+        return CryptoCosts(
+            mac_ms=self.mac_ms * factor,
+            signature_sign_ms=self.signature_sign_ms * factor,
+            signature_verify_ms=self.signature_verify_ms * factor,
+            threshold_share_ms=self.threshold_share_ms * factor,
+            threshold_combine_ms=self.threshold_combine_ms * factor,
+            threshold_verify_ms=self.threshold_verify_ms * factor,
+            digest_bytes_per_ms=self.digest_bytes_per_ms / max(factor, 1e-9),
+        )
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Parameters of the simulated unreliable network."""
+
+    min_delay_ms: float = 0.05
+    max_delay_ms: float = 0.3
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    reorder_probability: float = 0.0
+    corrupt_probability: float = 0.0
+    bandwidth_bytes_per_ms: float = 12_500.0  # 100 Mbit/s
+    partition_heal_ms: float = 0.0
+
+    def validate(self) -> None:
+        for name in ("drop_probability", "duplicate_probability",
+                     "reorder_probability", "corrupt_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if self.min_delay_ms < 0 or self.max_delay_ms < self.min_delay_ms:
+            raise ConfigurationError(
+                "network delays must satisfy 0 <= min_delay_ms <= max_delay_ms"
+            )
+        if self.bandwidth_bytes_per_ms <= 0:
+            raise ConfigurationError("bandwidth_bytes_per_ms must be positive")
+
+
+@dataclass(frozen=True)
+class TimerConfig:
+    """Retransmission and view-change timers (virtual milliseconds)."""
+
+    client_retransmit_ms: float = 150.0
+    agreement_retransmit_ms: float = 60.0
+    execution_fetch_ms: float = 40.0
+    view_change_ms: float = 400.0
+    batch_timeout_ms: float = 1.0
+
+    def validate(self) -> None:
+        for fld in dataclasses.fields(self):
+            if getattr(self, fld.name) <= 0:
+                raise ConfigurationError(f"timer {fld.name} must be positive")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete description of a deployment of the separated architecture.
+
+    Parameters
+    ----------
+    f:
+        Number of Byzantine faults tolerated by the agreement cluster.
+    g:
+        Number of Byzantine faults tolerated by the execution cluster.
+    h:
+        Number of Byzantine faults tolerated by the privacy firewall.  Only
+        meaningful when ``use_privacy_firewall`` is true.
+    num_clients:
+        Size of the finite universe of authorised clients.
+    pipeline_depth:
+        The paper's ``P``: maximum number of agreement-certificate sequence
+        numbers outstanding (unanswered) between the clusters.
+    checkpoint_interval:
+        The paper's ``CP_FREQ``: execution nodes checkpoint after executing
+        request ``n`` whenever ``n % checkpoint_interval == 0``.
+    bundle_size:
+        Number of requests bundled into one agreement/batch and one threshold
+        signature (Figure 5 sweeps this).
+    """
+
+    f: int = 1
+    g: int = 1
+    h: int = 1
+    num_clients: int = 4
+    pipeline_depth: int = 64
+    checkpoint_interval: int = 128
+    bundle_size: int = 1
+    authentication: AuthenticationScheme = AuthenticationScheme.MAC
+    deployment: Deployment = Deployment.DIFFERENT
+    use_privacy_firewall: bool = False
+    use_reply_cache: bool = True
+    direct_execution_reply: bool = True
+    #: Castro-Liskov style optimisation: only the current primary's message
+    #: queue sends a newly inserted batch towards the execution cluster; the
+    #: other agreement nodes send only if their retransmission timer expires.
+    primary_sends_first: bool = True
+    app_processing_ms: float = 0.0
+    crypto: CryptoCosts = field(default_factory=CryptoCosts)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    timers: TimerConfig = field(default_factory=TimerConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.f < 0 or self.g < 0 or self.h < 0:
+            raise ConfigurationError("fault thresholds f, g, h must be non-negative")
+        if self.num_clients < 1:
+            raise ConfigurationError("at least one client is required")
+        if self.pipeline_depth < 1:
+            raise ConfigurationError("pipeline_depth must be at least 1")
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError("checkpoint_interval must be at least 1")
+        if self.bundle_size < 1:
+            raise ConfigurationError("bundle_size must be at least 1")
+        if self.use_privacy_firewall and self.authentication is not AuthenticationScheme.THRESHOLD:
+            raise ConfigurationError(
+                "the privacy firewall requires threshold-signature reply certificates"
+            )
+        if self.use_privacy_firewall and self.deployment is not Deployment.DIFFERENT:
+            raise ConfigurationError(
+                "the privacy firewall requires physically separate agreement and "
+                "execution machines"
+            )
+        if self.app_processing_ms < 0:
+            raise ConfigurationError("app_processing_ms must be non-negative")
+        self.network.validate()
+        self.timers.validate()
+
+    # ------------------------------------------------------------------ #
+    # Cluster sizes (the paper's replication-cost arithmetic).
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_agreement_nodes(self) -> int:
+        """``3f + 1`` replicas are required for f-resilient Byzantine agreement."""
+        return 3 * self.f + 1
+
+    @property
+    def num_execution_nodes(self) -> int:
+        """``2g + 1`` execution replicas tolerate ``g`` Byzantine faults."""
+        return 2 * self.g + 1
+
+    @property
+    def agreement_quorum(self) -> int:
+        """Authenticators required on an agreement certificate: ``2f + 1``."""
+        return 2 * self.f + 1
+
+    @property
+    def reply_quorum(self) -> int:
+        """Matching execution authenticators required on a reply: ``g + 1``."""
+        return self.g + 1
+
+    @property
+    def checkpoint_quorum(self) -> int:
+        """Execution checkpoint proof of stability needs ``g + 1`` vouchers."""
+        return self.g + 1
+
+    @property
+    def firewall_rows(self) -> int:
+        """The privacy firewall has ``h + 1`` rows of filters."""
+        return self.h + 1 if self.use_privacy_firewall else 0
+
+    @property
+    def firewall_columns(self) -> int:
+        """Each privacy firewall row has ``h + 1`` filter nodes."""
+        return self.h + 1 if self.use_privacy_firewall else 0
+
+    @property
+    def num_firewall_nodes(self) -> int:
+        """Total number of filter nodes: ``(h + 1)^2`` (the provable minimum)."""
+        return self.firewall_rows * self.firewall_columns
+
+    @property
+    def total_server_machines(self) -> int:
+        """Number of distinct server machines in the deployment.
+
+        When agreement and execution share machines (``Deployment.SAME``)
+        the execution replicas do not add machines.  When the privacy
+        firewall is enabled, the bottom row of filters is co-located with
+        agreement nodes whenever there are at least ``h + 1`` of them, which
+        the ``3f + 1 >= h + 1`` check captures.
+        """
+        agreement = self.num_agreement_nodes
+        execution = 0 if self.deployment is Deployment.SAME else self.num_execution_nodes
+        firewall = 0
+        if self.use_privacy_firewall:
+            rows = self.firewall_rows
+            colocated_rows = 1 if self.num_agreement_nodes >= self.firewall_columns else 0
+            firewall = (rows - colocated_rows) * self.firewall_columns
+        return agreement + execution + firewall
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors for the paper's evaluation configurations.
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def base_coupled(**overrides: object) -> "SystemConfig":
+        """BASE/Same/MAC: the coupled baseline (agreement == execution nodes)."""
+        defaults: dict = dict(
+            f=1, g=1, deployment=Deployment.SAME,
+            authentication=AuthenticationScheme.MAC,
+            use_privacy_firewall=False,
+        )
+        defaults.update(overrides)
+        return SystemConfig(**defaults)
+
+    @staticmethod
+    def separate_same_mac(**overrides: object) -> "SystemConfig":
+        """Separate/Same/MAC from Figure 3."""
+        defaults: dict = dict(
+            f=1, g=1, deployment=Deployment.SAME,
+            authentication=AuthenticationScheme.MAC,
+            use_privacy_firewall=False,
+        )
+        defaults.update(overrides)
+        return SystemConfig(**defaults)
+
+    @staticmethod
+    def separate_different_mac(**overrides: object) -> "SystemConfig":
+        """Separate/Different/MAC from Figure 3."""
+        defaults: dict = dict(
+            f=1, g=1, deployment=Deployment.DIFFERENT,
+            authentication=AuthenticationScheme.MAC,
+            use_privacy_firewall=False,
+        )
+        defaults.update(overrides)
+        return SystemConfig(**defaults)
+
+    @staticmethod
+    def separate_different_threshold(**overrides: object) -> "SystemConfig":
+        """Separate/Different/Thresh from Figure 3."""
+        defaults: dict = dict(
+            f=1, g=1, deployment=Deployment.DIFFERENT,
+            authentication=AuthenticationScheme.THRESHOLD,
+            use_privacy_firewall=False,
+        )
+        defaults.update(overrides)
+        return SystemConfig(**defaults)
+
+    @staticmethod
+    def privacy_firewall(**overrides: object) -> "SystemConfig":
+        """Priv/Different/Thresh from Figure 3: the full privacy firewall system."""
+        defaults: dict = dict(
+            f=1, g=1, h=1, deployment=Deployment.DIFFERENT,
+            authentication=AuthenticationScheme.THRESHOLD,
+            use_privacy_firewall=True,
+        )
+        defaults.update(overrides)
+        return SystemConfig(**defaults)
+
+    def replace(self, **changes: object) -> "SystemConfig":
+        """Return a copy of this configuration with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,425 @@
+"""The execution cluster (Section 3.3 of the paper).
+
+``2g + 1`` application-specific execution replicas process ordered batches in
+sequence-number order.  Each node maintains:
+
+* the application state machine (behind the nondeterminism abstraction layer),
+* a pending-request list of received-but-not-executed batches,
+* ``maxN``, the highest executed sequence number,
+* ``reply_c``, the last reply sent to each client (exactly-once semantics),
+* its most recent *stable* checkpoint (certified by ``g + 1`` nodes) plus any
+  newer, not-yet-stable checkpoints.
+
+Two retransmission mechanisms fill sequence-number gaps: the agreement
+cluster re-multicasts unanswered batches, and the execution cluster's
+internal protocol fetches missing batches (or a newer stable checkpoint) from
+peers.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import AuthenticationScheme, SystemConfig
+from ..crypto.certificate import Certificate
+from ..crypto.keys import Keystore
+from ..crypto.provider import CryptoProvider
+from ..messages.agreement import OrderedBatch
+from ..messages.checkpoint import (
+    BatchTransfer,
+    ExecCheckpointProof,
+    ExecCheckpointShare,
+    FetchBatch,
+    StateTransfer,
+    checkpoint_payload,
+)
+from ..messages.reply import BatchReply, BatchReplyBody, ClientReply, ReplyBody
+from ..messages.request import ClientRequest, EncryptedBody
+from ..net.message import Message
+from ..sim.process import Process
+from ..sim.scheduler import Scheduler
+from ..statemachine.interface import OperationResult, StateMachine
+from ..statemachine.nondet import AbstractionLayer
+from ..util.ids import NodeId, Role
+
+
+@dataclass
+class StoredCheckpoint:
+    """A checkpoint (application state + reply table) awaiting or past stability."""
+
+    seq: int
+    app_state: bytes
+    reply_table: bytes
+    digest: bytes
+    proof: Optional[Certificate] = None
+
+    @property
+    def stable(self) -> bool:
+        return self.proof is not None
+
+
+class ExecutionNode(Process):
+    """One of the ``2g + 1`` execution replicas."""
+
+    def __init__(self, node_id: NodeId, scheduler: Scheduler, config: SystemConfig,
+                 keystore: Keystore, state_machine: StateMachine,
+                 agreement_ids: List[NodeId], execution_ids: List[NodeId],
+                 client_ids: List[NodeId], upstream: List[NodeId],
+                 threshold_group: Optional[str] = None,
+                 encrypt_replies: bool = False) -> None:
+        super().__init__(node_id, scheduler)
+        self.config = config
+        self.app = state_machine
+        self.abstraction = AbstractionLayer()
+        self.agreement_ids = list(agreement_ids)
+        self.execution_ids = list(execution_ids)
+        self.client_ids = list(client_ids)
+        #: where reply certificates are sent: the agreement nodes, or the top
+        #: row of the privacy firewall.
+        self.upstream = list(upstream)
+        self.threshold_group = threshold_group
+        self.encrypt_replies = encrypt_replies
+        self.crypto = CryptoProvider(node_id, keystore, config.crypto,
+                                     charge=self.charge,
+                                     record=self.stats.record_crypto)
+
+        self.max_executed = 0
+        self.pending: Dict[int, OrderedBatch] = {}
+        self.reply_table: Dict[NodeId, ReplyBody] = {}
+        self.replies_by_seq: Dict[int, BatchReply] = {}
+        self.recent_batches: Dict[int, OrderedBatch] = {}
+        self.checkpoints: Dict[int, StoredCheckpoint] = {}
+        self.stable_checkpoint: Optional[StoredCheckpoint] = None
+        self._checkpoint_votes: Dict[int, Dict[NodeId, ExecCheckpointShare]] = {}
+        self._fetching: Dict[int, bool] = {}
+
+        # Statistics used by benchmarks and tests.
+        self.requests_executed = 0
+        self.batches_executed = 0
+        self.duplicate_requests = 0
+        self.state_transfers = 0
+
+    # ------------------------------------------------------------------ #
+    # Message dispatch.
+    # ------------------------------------------------------------------ #
+
+    def on_message(self, sender: NodeId, message: Message) -> None:
+        if isinstance(message, OrderedBatch):
+            self.handle_ordered_batch(message)
+        elif isinstance(message, BatchTransfer):
+            if sender in self.execution_ids:
+                self.handle_ordered_batch(message.batch)
+        elif isinstance(message, FetchBatch):
+            self.handle_fetch(sender, message)
+        elif isinstance(message, ExecCheckpointShare):
+            self.handle_checkpoint_share(sender, message)
+        elif isinstance(message, StateTransfer):
+            self.handle_state_transfer(sender, message)
+        else:
+            return
+
+    # ------------------------------------------------------------------ #
+    # Ordered batches.
+    # ------------------------------------------------------------------ #
+
+    def handle_ordered_batch(self, batch: OrderedBatch) -> None:
+        seq = batch.seq
+        if seq <= self.max_executed:
+            # Retransmission from the agreement cluster: resend the partial
+            # reply certificate, which is guaranteed to carry a sequence
+            # number at least as large as the request's.
+            self._resend_replies(batch)
+            return
+        if seq in self.pending:
+            return
+        if not self._validate_batch(batch):
+            return
+        self.pending[seq] = batch
+        self.recent_batches[seq] = batch
+        self._trim_recent()
+        self._process_pending()
+        if self.max_executed + 1 < seq and (self.max_executed + 1) not in self.pending:
+            self._request_missing(self.max_executed + 1)
+
+    def _validate_batch(self, batch: OrderedBatch) -> bool:
+        body = batch.agreement_certificate.payload
+        if getattr(body, "seq", None) != batch.seq or getattr(body, "view", None) != batch.view:
+            return False
+        if not self.crypto.verify_certificate(batch.agreement_certificate,
+                                              self.config.agreement_quorum,
+                                              self.agreement_ids):
+            return False
+        expected = self.crypto.digest({
+            "batch": [self.crypto.payload_digest(cert.payload)
+                      for cert in batch.request_certificates],
+        })
+        if expected != body.batch_digest:
+            return False
+        for certificate in batch.request_certificates:
+            request = certificate.payload
+            if not isinstance(request, ClientRequest):
+                return False
+            if request.client not in self.client_ids:
+                return False
+            if not self.crypto.verify_certificate(certificate, 1, [request.client]):
+                return False
+        return True
+
+    def _resend_replies(self, batch: OrderedBatch) -> None:
+        cached = self.replies_by_seq.get(batch.seq)
+        if cached is not None:
+            self.multicast(self.upstream, cached)
+            return
+        # The batch-level reply was garbage collected; answer per client from
+        # the reply table (each answer is a fresh partial certificate over the
+        # client's most recent reply, as in Section 3.3).
+        seen: set = set()
+        for certificate in batch.request_certificates:
+            request = certificate.payload
+            if not isinstance(request, ClientRequest) or request.client in seen:
+                continue
+            seen.add(request.client)
+            last = self.reply_table.get(request.client)
+            if last is None:
+                continue
+            body = BatchReplyBody(view=last.view, seq=last.seq, replies=(last,))
+            self._send_reply(body)
+
+    def _process_pending(self) -> None:
+        while (self.max_executed + 1) in self.pending:
+            batch = self.pending.pop(self.max_executed + 1)
+            self._execute_batch(batch)
+
+    def _request_missing(self, seq: int) -> None:
+        if self._fetching.get(seq):
+            return
+        self._fetching[seq] = True
+        self.multicast([n for n in self.execution_ids if n != self.node_id],
+                       FetchBatch(seq=seq, replica=self.node_id))
+        self.set_timer(self.config.timers.execution_fetch_ms,
+                       lambda seq=seq: self._retry_missing(seq),
+                       label=f"{self.node_id}:fetch:{seq}")
+
+    def _retry_missing(self, seq: int) -> None:
+        self._fetching.pop(seq, None)
+        if seq <= self.max_executed or seq in self.pending:
+            return
+        self._request_missing(seq)
+
+    # ------------------------------------------------------------------ #
+    # Execution.
+    # ------------------------------------------------------------------ #
+
+    def _execute_batch(self, batch: OrderedBatch) -> None:
+        self.abstraction.bind(batch.nondet)
+        replies: List[ReplyBody] = []
+        for certificate in batch.request_certificates:
+            request: ClientRequest = certificate.payload
+            replies.append(self._execute_request(batch, request))
+        self.max_executed = batch.seq
+        self.batches_executed += 1
+        body = BatchReplyBody(view=batch.view, seq=batch.seq, replies=tuple(replies))
+        reply_message = self._send_reply(body)
+        self.replies_by_seq[batch.seq] = reply_message
+        self._trim_reply_cache()
+        if batch.seq % self.config.checkpoint_interval == 0:
+            self._take_checkpoint(batch.seq)
+
+    def _execute_request(self, batch: OrderedBatch, request: ClientRequest) -> ReplyBody:
+        last = self.reply_table.get(request.client)
+        last_timestamp = last.timestamp if last is not None else -1
+        if request.timestamp > last_timestamp:
+            operation = request.operation_for(Role.EXECUTION)
+            result = self.app.execute(operation, batch.nondet)
+            self.charge(self.config.app_processing_ms + result.processing_ms)
+            self.requests_executed += 1
+            reply = ReplyBody(view=batch.view, seq=batch.seq,
+                              timestamp=request.timestamp, client=request.client,
+                              result=self._wrap_result(result))
+            self.reply_table[request.client] = reply
+            return reply
+        # Client-initiated retransmission (t <= t'): acknowledge the new
+        # sequence number but reply with the cached timestamp and body.
+        self.duplicate_requests += 1
+        assert last is not None
+        return ReplyBody(view=batch.view, seq=batch.seq,
+                         timestamp=last.timestamp, client=request.client,
+                         result=last.result)
+
+    def _wrap_result(self, result: OperationResult):
+        if not self.encrypt_replies:
+            return result
+        return EncryptedBody(result, readers=frozenset({Role.CLIENT, Role.EXECUTION}),
+                             size=max(result.size, 64))
+
+    def _send_reply(self, body: BatchReplyBody) -> BatchReply:
+        """Build this node's partial reply certificate and send it upstream."""
+        if self.config.authentication is AuthenticationScheme.THRESHOLD:
+            certificate = Certificate(payload=body,
+                                      scheme=AuthenticationScheme.THRESHOLD,
+                                      threshold_group=self.threshold_group)
+            certificate.add(self.crypto.threshold_share(body, self.threshold_group))
+        elif self.config.authentication is AuthenticationScheme.SIGNATURE:
+            certificate = Certificate(payload=body, scheme=AuthenticationScheme.SIGNATURE)
+            certificate.add(self.crypto.sign(body))
+        else:
+            certificate = Certificate(payload=body, scheme=AuthenticationScheme.MAC)
+            destinations = self.agreement_ids + self.client_ids
+            certificate.add(self.crypto.mac_authenticator(body, destinations))
+        message = BatchReply(seq=body.seq, body=body, certificate=certificate,
+                             sender=self.node_id)
+        self.multicast(self.upstream, message)
+        if self._may_reply_directly():
+            for reply in body.replies:
+                self.send(reply.client,
+                          ClientReply(reply=reply, body=body, certificate=certificate))
+        return message
+
+    def _may_reply_directly(self) -> bool:
+        """The 'execution nodes send replies directly to clients' optimisation.
+
+        Only valid without the privacy firewall (clients may not talk to
+        execution nodes through the firewall topology) and only useful for MAC
+        certificates, where the client can count matching partials itself.
+        """
+        return (self.config.direct_execution_reply
+                and not self.config.use_privacy_firewall
+                and self.config.authentication is AuthenticationScheme.MAC)
+
+    def _trim_reply_cache(self) -> None:
+        horizon = self.max_executed - 2 * self.config.pipeline_depth
+        if horizon <= 0:
+            return
+        self.replies_by_seq = {
+            seq: reply for seq, reply in self.replies_by_seq.items() if seq > horizon
+        }
+
+    def _trim_recent(self) -> None:
+        horizon = self.max_executed - 2 * self.config.checkpoint_interval
+        if horizon <= 0:
+            return
+        self.recent_batches = {
+            seq: batch for seq, batch in self.recent_batches.items() if seq > horizon
+        }
+
+    # ------------------------------------------------------------------ #
+    # Checkpoints and proof of stability.
+    # ------------------------------------------------------------------ #
+
+    def _take_checkpoint(self, seq: int) -> None:
+        app_state = self.app.checkpoint()
+        reply_table = pickle.dumps(sorted(
+            (client.name, reply) for client, reply in self.reply_table.items()
+        ))
+        digest = self.crypto.digest(app_state + reply_table,
+                                    size_hint=len(app_state) + len(reply_table))
+        checkpoint = StoredCheckpoint(seq=seq, app_state=app_state,
+                                      reply_table=reply_table, digest=digest)
+        self.checkpoints[seq] = checkpoint
+        authenticator = self.crypto.mac_authenticator(
+            checkpoint_payload(seq, digest), self.execution_ids)
+        share = ExecCheckpointShare(seq=seq, state_digest=digest,
+                                    replica=self.node_id, authenticator=authenticator)
+        self._record_checkpoint_vote(self.node_id, share)
+        self.multicast([n for n in self.execution_ids if n != self.node_id], share)
+        self._try_stabilize(seq)
+
+    def handle_checkpoint_share(self, sender: NodeId, share: ExecCheckpointShare) -> None:
+        if sender != share.replica or sender not in self.execution_ids:
+            return
+        self._record_checkpoint_vote(sender, share)
+        self._try_stabilize(share.seq)
+
+    def _record_checkpoint_vote(self, sender: NodeId, share: ExecCheckpointShare) -> None:
+        self._checkpoint_votes.setdefault(share.seq, {})[sender] = share
+
+    def _try_stabilize(self, seq: int) -> None:
+        checkpoint = self.checkpoints.get(seq)
+        if checkpoint is None or checkpoint.stable:
+            return
+        votes = self._checkpoint_votes.get(seq, {})
+        matching = [share for share in votes.values()
+                    if share.state_digest == checkpoint.digest
+                    and share.authenticator is not None]
+        if len(matching) < self.config.checkpoint_quorum:
+            return
+        proof = Certificate(payload=checkpoint_payload(seq, checkpoint.digest),
+                            scheme=AuthenticationScheme.MAC)
+        for share in matching:
+            proof.add(share.authenticator)
+        checkpoint.proof = proof
+        self.stable_checkpoint = checkpoint
+        self._garbage_collect(seq)
+
+    def _garbage_collect(self, stable_seq: int) -> None:
+        """Discard checkpoints, votes, and pending batches older than the
+        stable checkpoint (Section 3.3.2)."""
+        self.checkpoints = {
+            seq: cp for seq, cp in self.checkpoints.items() if seq >= stable_seq
+        }
+        self._checkpoint_votes = {
+            seq: votes for seq, votes in self._checkpoint_votes.items()
+            if seq >= stable_seq
+        }
+        self.pending = {seq: b for seq, b in self.pending.items() if seq > stable_seq}
+        self.recent_batches = {
+            seq: b for seq, b in self.recent_batches.items() if seq > stable_seq
+        }
+
+    # ------------------------------------------------------------------ #
+    # Intra-cluster retransmission and state transfer.
+    # ------------------------------------------------------------------ #
+
+    def handle_fetch(self, sender: NodeId, message: FetchBatch) -> None:
+        if sender not in self.execution_ids:
+            return
+        if (self.stable_checkpoint is not None
+                and self.stable_checkpoint.seq >= message.seq):
+            checkpoint = self.stable_checkpoint
+            proof_message = ExecCheckpointProof(seq=checkpoint.seq,
+                                                state_digest=checkpoint.digest,
+                                                certificate=checkpoint.proof)
+            self.send(sender, StateTransfer(seq=checkpoint.seq,
+                                            app_state=checkpoint.app_state,
+                                            reply_table=checkpoint.reply_table,
+                                            proof=proof_message,
+                                            replica=self.node_id))
+            return
+        batch = self.recent_batches.get(message.seq) or self.pending.get(message.seq)
+        if batch is not None:
+            self.send(sender, BatchTransfer(batch=batch, replica=self.node_id))
+
+    def handle_state_transfer(self, sender: NodeId, message: StateTransfer) -> None:
+        if sender not in self.execution_ids:
+            return
+        if message.seq <= self.max_executed:
+            return
+        digest = self.crypto.digest(message.app_state + message.reply_table,
+                                    size_hint=len(message.app_state) + len(message.reply_table))
+        proof = message.proof
+        if proof.state_digest != digest or proof.seq != message.seq:
+            return
+        if proof.certificate is None:
+            return
+        if proof.certificate.payload != checkpoint_payload(message.seq, digest):
+            return
+        valid = self.crypto.valid_signers(proof.certificate, self.execution_ids)
+        if len(valid) < self.config.checkpoint_quorum:
+            return
+        # Restore: application state, reply table, and sequence number.
+        self.app.restore(message.app_state)
+        restored: Dict[NodeId, ReplyBody] = {}
+        for client_name, reply in pickle.loads(message.reply_table):
+            restored[reply.client] = reply
+        self.reply_table = restored
+        self.max_executed = message.seq
+        self.pending = {seq: b for seq, b in self.pending.items() if seq > message.seq}
+        checkpoint = StoredCheckpoint(seq=message.seq, app_state=message.app_state,
+                                      reply_table=message.reply_table, digest=digest,
+                                      proof=proof.certificate)
+        self.checkpoints[message.seq] = checkpoint
+        self.stable_checkpoint = checkpoint
+        self.state_transfers += 1
+        self._process_pending()

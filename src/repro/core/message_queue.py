@@ -1,0 +1,265 @@
+"""The message queue installed as the agreement library's local state machine.
+
+Section 3.2.1 of the paper: each agreement node hosts a message queue
+instance that stores ``maxN`` (the highest sequence number in any agreement
+certificate received), ``pendingSends`` (request/agreement certificates and
+retransmission timers for batches whose reply has not yet arrived), and an
+optional per-client reply cache ``cache_c``.
+
+* ``insert`` (here :meth:`MessageQueue.execute_batch`, the name the agreement
+  library calls) stores the certificates, multicasts them towards the
+  execution cluster, and arms a retransmission timer with exponential
+  backoff.
+* When a valid reply certificate with ``g + 1`` execution authenticators (or
+  one threshold signature) arrives, the queue drops the pending entries for
+  that and all lower sequence numbers, cancels their timers, forwards the
+  reply to the client, and optionally caches it.
+* ``retryHint`` serves client-initiated retransmissions from the cache, or
+  resends the pending certificates, or reports that agreement must be re-run.
+* Pipeline back-pressure: the agreement replica will not start sequence
+  number ``n`` until the queue has seen a reply for ``n - P``
+  (:meth:`highest_ready_seq`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..agreement.local import LocalExecutor, RetryOutcome
+from ..config import AuthenticationScheme, SystemConfig
+from ..crypto.certificate import Certificate
+from ..errors import ProtocolError
+from ..messages.agreement import OrderedBatch
+from ..messages.reply import BatchReply, BatchReplyBody, ClientReply
+from ..messages.request import ClientRequest
+from ..sim.process import Process
+from ..sim.scheduler import Timer
+from ..statemachine.nondet import NonDetInput
+from ..util.ids import NodeId
+
+
+@dataclass
+class PendingSend:
+    """Book-keeping for one batch awaiting its reply certificate."""
+
+    batch: OrderedBatch
+    timer: Optional[Timer] = None
+    timeout_ms: float = 0.0
+    retransmissions: int = 0
+
+
+@dataclass
+class _ReplyCollector:
+    """Accumulates partial reply certificates until a quorum is reached."""
+
+    body: BatchReplyBody
+    certificate: Certificate
+    done: bool = False
+
+
+class MessageQueue(LocalExecutor):
+    """Local state machine of one agreement node in the separated architecture."""
+
+    def __init__(self, owner: Process, config: SystemConfig,
+                 execution_ids: List[NodeId], downstream: List[NodeId],
+                 client_ids: List[NodeId],
+                 threshold_group: Optional[str] = None) -> None:
+        #: the agreement replica process hosting this queue; provides
+        #: send/set_timer/charge and the crypto provider.
+        self.owner = owner
+        self.config = config
+        self.execution_ids = list(execution_ids)
+        #: where ordered batches are sent: the execution nodes directly, or
+        #: the bottom row of the privacy firewall.
+        self.downstream = list(downstream)
+        self.client_ids = list(client_ids)
+        self.threshold_group = threshold_group
+
+        self.max_n = 0
+        self.pending_sends: Dict[int, PendingSend] = {}
+        #: optional per-client cache of the latest full reply certificate
+        self.cache: Dict[NodeId, ClientReply] = {}
+        self.highest_reply_seq = 0
+        #: partial-certificate assembly, keyed by (seq, body digest)
+        self._collectors: Dict[Tuple[int, bytes], _ReplyCollector] = {}
+
+        # Statistics used by benchmarks and tests.
+        self.batches_sent = 0
+        self.replies_forwarded = 0
+        self.retransmissions = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # Helpers.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def crypto(self):
+        return self.owner.crypto  # type: ignore[attr-defined]
+
+    def _send_downstream(self, batch: OrderedBatch) -> None:
+        self.owner.multicast(self.downstream, batch)
+        self.batches_sent += 1
+
+    # ------------------------------------------------------------------ #
+    # LocalExecutor interface (called by the agreement replica).
+    # ------------------------------------------------------------------ #
+
+    def execute_batch(self, seq: int, view: int,
+                      request_certificates: Tuple[Certificate, ...],
+                      agreement_certificate: Certificate,
+                      nondet: NonDetInput) -> None:
+        """The BASE library's ``msgQueue.insert(request cert, agreement cert)``."""
+        batch = OrderedBatch(seq=seq, view=view,
+                             request_certificates=tuple(request_certificates),
+                             agreement_certificate=agreement_certificate,
+                             nondet=nondet)
+        self.max_n = max(self.max_n, seq)
+        pending = PendingSend(batch=batch,
+                              timeout_ms=self.config.timers.agreement_retransmit_ms)
+        self.pending_sends[seq] = pending
+        # Optimisation from the paper: on first insertion only the current
+        # primary multicasts the batch downstream; every node retransmits if
+        # the timeout expires before the reply certificate arrives.
+        if not self.config.primary_sends_first or self._owner_is_primary(view):
+            self._send_downstream(batch)
+        self._arm_timer(pending)
+
+    def _owner_is_primary(self, view: int) -> bool:
+        primary_of = getattr(self.owner, "primary_of", None)
+        if primary_of is None:
+            return True
+        return primary_of(view) == self.owner.node_id
+
+    def _arm_timer(self, pending: PendingSend) -> None:
+        seq = pending.batch.seq
+        pending.timer = self.owner.set_timer(
+            pending.timeout_ms,
+            lambda seq=seq: self._on_retransmit_timeout(seq),
+            label=f"{self.owner.node_id}:mq-retransmit:{seq}",
+        )
+
+    def _on_retransmit_timeout(self, seq: int) -> None:
+        pending = self.pending_sends.get(seq)
+        if pending is None:
+            return
+        self._send_downstream(pending.batch)
+        self.retransmissions += 1
+        pending.retransmissions += 1
+        # Exponential backoff, as in the paper.
+        pending.timeout_ms *= 2
+        self._arm_timer(pending)
+
+    def retry_hint(self, request_certificate: Certificate) -> RetryOutcome:
+        """Handle a client-initiated retransmission (BASE's ``retryHint``)."""
+        request: ClientRequest = request_certificate.payload
+        cached = self.cache.get(request.client)
+        if (self.config.use_reply_cache and cached is not None
+                and cached.reply.timestamp >= request.timestamp):
+            self.owner.send(request.client, cached)
+            self.cache_hits += 1
+            return RetryOutcome.HANDLED
+        for pending in self.pending_sends.values():
+            for cert in pending.batch.request_certificates:
+                pending_request: ClientRequest = cert.payload
+                if (pending_request.client == request.client
+                        and pending_request.timestamp == request.timestamp):
+                    self._send_downstream(pending.batch)
+                    self.retransmissions += 1
+                    return RetryOutcome.HANDLED
+        return RetryOutcome.NEED_ORDER
+
+    def highest_ready_seq(self) -> Optional[int]:
+        return self.highest_reply_seq
+
+    def on_stable_checkpoint(self, seq: int) -> None:
+        # The reply cache is explicitly excluded from checkpoints and pending
+        # sends are only dropped when their reply arrives, so a stable
+        # agreement checkpoint requires no action here.
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Reply certificates from the execution cluster / privacy firewall.
+    # ------------------------------------------------------------------ #
+
+    def on_batch_reply(self, sender: NodeId, message: BatchReply) -> None:
+        """Handle a (partial or full) reply certificate flowing back down."""
+        body = message.body
+        certificate = message.certificate
+        if body.seq != message.seq:
+            return
+        full = self._assemble(sender, body, certificate)
+        if full is None:
+            return
+        self._accept_reply(body, full)
+
+    def _assemble(self, sender: NodeId, body: BatchReplyBody,
+                  certificate: Certificate) -> Optional[Certificate]:
+        """Merge partial certificates until ``g + 1`` signers (or a threshold
+        signature) vouch for the reply body; returns the full certificate."""
+        if certificate.scheme is AuthenticationScheme.THRESHOLD:
+            if certificate.threshold_signature is not None:
+                if self.crypto.verify_certificate(certificate, self.config.reply_quorum):
+                    return certificate
+                return None
+            # A partial threshold share: accumulate and combine at quorum.
+            key = (body.seq, self.crypto.payload_digest(body))
+            collector = self._collectors.get(key)
+            if collector is None:
+                collector = _ReplyCollector(body=body, certificate=Certificate(
+                    payload=body, scheme=certificate.scheme,
+                    threshold_group=certificate.threshold_group or self.threshold_group))
+                self._collectors[key] = collector
+            collector.certificate.merge(certificate)
+            if collector.done:
+                return None
+            valid = self.crypto.valid_signers(collector.certificate, self.execution_ids)
+            if len(valid) < self.config.reply_quorum:
+                return None
+            signature = self.crypto.threshold_combine(
+                body, collector.certificate.threshold_group,
+                collector.certificate.authenticator_list())
+            collector.certificate.threshold_signature = signature
+            collector.done = True
+            return collector.certificate
+
+        # MAC / signature partials: merge and count distinct execution signers.
+        key = (body.seq, self.crypto.payload_digest(body))
+        collector = self._collectors.get(key)
+        if collector is None:
+            collector = _ReplyCollector(body=body, certificate=Certificate(
+                payload=body, scheme=certificate.scheme))
+            self._collectors[key] = collector
+        collector.certificate.merge(certificate)
+        if collector.done:
+            return None
+        valid = self.crypto.valid_signers(collector.certificate, self.execution_ids)
+        if len(valid) < self.config.reply_quorum:
+            return None
+        collector.done = True
+        return collector.certificate
+
+    def _accept_reply(self, body: BatchReplyBody, certificate: Certificate) -> None:
+        """A full reply certificate for ``body.seq`` has been assembled."""
+        seq = body.seq
+        self.highest_reply_seq = max(self.highest_reply_seq, seq)
+        # Drop pending entries for this and all lower sequence numbers.
+        for pending_seq in [s for s in self.pending_sends if s <= seq]:
+            pending = self.pending_sends.pop(pending_seq)
+            if pending.timer is not None:
+                pending.timer.cancel()
+        # Garbage collect assembly state for old sequence numbers.
+        horizon = seq - self.config.pipeline_depth
+        self._collectors = {
+            key: value for key, value in self._collectors.items() if key[0] > horizon
+        }
+        # Forward each client its reply and update the cache.
+        for reply in body.replies:
+            client_reply = ClientReply(reply=reply, body=body, certificate=certificate)
+            if self.config.use_reply_cache:
+                cached = self.cache.get(reply.client)
+                if cached is None or cached.reply.timestamp <= reply.timestamp:
+                    self.cache[reply.client] = client_reply
+            self.owner.send(reply.client, client_reply)
+            self.replies_forwarded += 1

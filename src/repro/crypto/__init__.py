@@ -1,0 +1,29 @@
+"""Cryptographic substrate.
+
+Digests and MACs are real (SHA-256 / HMAC-SHA-256).  Public-key signatures
+and (k, n) threshold signatures are *simulated*: they are HMACs keyed by
+secrets held in a central :class:`Keystore` that only the simulation kernel
+can read, which preserves the verification semantics the protocols rely on
+(unforgeability by nodes that do not hold the key, deterministic combined
+threshold values independent of the share subset) without requiring real
+public-key arithmetic.
+
+Every operation is charged to the calling node's virtual clock through the
+cost model in :class:`repro.config.CryptoCosts`; those charges are what make
+the latency and throughput benchmarks reproduce the paper's shape.
+"""
+
+from .digest import digest, digest_hex
+from .keys import Keystore, ThresholdGroup
+from .certificate import Authenticator, Certificate
+from .provider import CryptoProvider
+
+__all__ = [
+    "digest",
+    "digest_hex",
+    "Keystore",
+    "ThresholdGroup",
+    "Authenticator",
+    "Certificate",
+    "CryptoProvider",
+]

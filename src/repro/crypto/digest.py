@@ -1,0 +1,42 @@
+"""Cryptographic digests.
+
+The paper assumes a collision- and preimage-resistant digest function (SHA-1
+in 2003); we use SHA-256.  Digests are computed over the canonical encoding
+of protocol values so that all correct nodes derive identical digests from
+identical logical messages.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from ..util.encoding import canonical_encode
+
+DIGEST_SIZE = 32
+
+
+def digest(value: Any) -> bytes:
+    """Return the SHA-256 digest of ``value``'s canonical encoding.
+
+    ``bytes`` values are hashed directly; anything else is first passed
+    through :func:`repro.util.encoding.canonical_encode`.
+    """
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+    else:
+        data = canonical_encode(value)
+    return hashlib.sha256(data).digest()
+
+
+def digest_hex(value: Any) -> str:
+    """Hex string form of :func:`digest` (for logs and debugging)."""
+    return digest(value).hex()
+
+
+def combine_digests(*digests: bytes) -> bytes:
+    """Hash a sequence of digests into one (used for incremental checkpoints)."""
+    hasher = hashlib.sha256()
+    for item in digests:
+        hasher.update(item)
+    return hasher.digest()

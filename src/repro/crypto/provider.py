@@ -1,0 +1,287 @@
+"""Per-node cryptographic operations.
+
+A :class:`CryptoProvider` is bound to one node and exposes exactly the
+operations the paper's trust model allows that node to perform: hashing,
+MACing to known destinations, signing with its own private key, producing its
+own threshold share, verifying anything, and combining ``k`` valid shares into
+a group signature.  It cannot produce another node's authenticator, which is
+how the simulation upholds the "cryptography is not subverted" assumption even
+for Byzantine nodes.
+
+Every operation charges its virtual-time cost (from
+:class:`repro.config.CryptoCosts`) through the ``charge`` callback -- usually
+``Process.charge`` -- and records an operation count for the cost-model
+benchmarks (Figure 4).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from ..config import AuthenticationScheme, CryptoCosts
+from ..errors import CertificateError, CryptoError, VerificationError
+from ..util.ids import NodeId
+from .certificate import Authenticator, Certificate
+from .digest import digest
+from .keys import Keystore
+
+ChargeFn = Callable[[float], None]
+RecordFn = Callable[[str], None]
+
+
+def _noop_charge(_: float) -> None:
+    return None
+
+
+def _noop_record(_: str) -> None:
+    return None
+
+
+def _hmac(key: bytes, data: bytes) -> bytes:
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+class CryptoProvider:
+    """Cryptographic operations available to one node."""
+
+    def __init__(self, node: NodeId, keystore: Keystore,
+                 costs: Optional[CryptoCosts] = None,
+                 charge: Optional[ChargeFn] = None,
+                 record: Optional[RecordFn] = None) -> None:
+        self.node = node
+        self.keystore = keystore
+        self.costs = costs or CryptoCosts()
+        self._charge = charge or _noop_charge
+        self._record = record or _noop_record
+        keystore.register_node(node)
+
+    def bind(self, charge: ChargeFn, record: RecordFn) -> None:
+        """Attach the cost-accounting callbacks (done when a Process is built)."""
+        self._charge = charge
+        self._record = record
+
+    # ------------------------------------------------------------------ #
+    # Digests.
+    # ------------------------------------------------------------------ #
+
+    def digest(self, value: Any, size_hint: Optional[int] = None) -> bytes:
+        """Digest ``value``, charging hashing time proportional to its size."""
+        data = value if isinstance(value, bytes) else None
+        result = digest(value)
+        size = size_hint if size_hint is not None else (len(data) if data is not None else 64)
+        self._charge(self.costs.digest_ms(size))
+        self._record("digest")
+        return result
+
+    def payload_digest(self, payload: Any) -> bytes:
+        """Digest of a message/payload, charging based on its wire size."""
+        size = payload.wire_size() if hasattr(payload, "wire_size") else None
+        return self.digest(payload if not hasattr(payload, "to_wire") else payload.to_wire(),
+                           size_hint=size)
+
+    # ------------------------------------------------------------------ #
+    # MAC authenticators.
+    # ------------------------------------------------------------------ #
+
+    def mac_authenticator(self, payload: Any,
+                          destinations: Iterable[NodeId]) -> Authenticator:
+        """Produce a MAC-vector authenticator for ``payload`` to ``destinations``."""
+        payload_digest = self.payload_digest(payload)
+        tokens: Dict[str, bytes] = {}
+        for destination in destinations:
+            secret = self.keystore.pair_secret(self.node, destination)
+            tokens[destination.name] = _hmac(secret, payload_digest)
+        self._charge(self.costs.mac_ms)
+        self._record("mac_sign")
+        return Authenticator(signer=self.node, scheme=AuthenticationScheme.MAC,
+                             payload_digest=payload_digest, token=tokens)
+
+    def verify_mac(self, payload: Any, authenticator: Authenticator) -> bool:
+        """Verify the MAC entry addressed to this node."""
+        if authenticator.scheme is not AuthenticationScheme.MAC:
+            return False
+        payload_digest = self.payload_digest(payload)
+        if not authenticator.covers(payload_digest):
+            return False
+        token = authenticator.token or {}
+        entry = token.get(self.node.name)
+        if entry is None:
+            return False
+        secret = self.keystore.pair_secret(authenticator.signer, self.node)
+        expected = _hmac(secret, payload_digest)
+        self._charge(self.costs.mac_ms)
+        self._record("mac_verify")
+        return hmac.compare_digest(entry, expected)
+
+    # ------------------------------------------------------------------ #
+    # Public-key signatures (simulated).
+    # ------------------------------------------------------------------ #
+
+    def sign(self, payload: Any) -> Authenticator:
+        """Sign ``payload`` with this node's private key."""
+        payload_digest = self.payload_digest(payload)
+        key = self.keystore.private_key(self.node)
+        signature = _hmac(key, b"sig:" + payload_digest)
+        self._charge(self.costs.signature_sign_ms)
+        self._record("signature_sign")
+        return Authenticator(signer=self.node, scheme=AuthenticationScheme.SIGNATURE,
+                             payload_digest=payload_digest, token=signature)
+
+    def verify_signature(self, payload: Any, authenticator: Authenticator) -> bool:
+        """Verify another node's signature over ``payload``."""
+        if authenticator.scheme is not AuthenticationScheme.SIGNATURE:
+            return False
+        payload_digest = self.payload_digest(payload)
+        if not authenticator.covers(payload_digest):
+            return False
+        try:
+            key = self.keystore.private_key(authenticator.signer)
+        except CryptoError:
+            return False
+        expected = _hmac(key, b"sig:" + payload_digest)
+        self._charge(self.costs.signature_verify_ms)
+        self._record("signature_verify")
+        return hmac.compare_digest(authenticator.token, expected)
+
+    # ------------------------------------------------------------------ #
+    # Threshold signatures (simulated k-of-n).
+    # ------------------------------------------------------------------ #
+
+    def threshold_share(self, payload: Any, group_name: str) -> Authenticator:
+        """Produce this node's signature share for ``payload`` in ``group_name``."""
+        group = self.keystore.threshold_group(group_name)
+        share_key = group.share_key(self.node)
+        payload_digest = self.payload_digest(payload)
+        share = _hmac(share_key, b"share:" + payload_digest)
+        self._charge(self.costs.threshold_share_ms)
+        self._record("threshold_share")
+        return Authenticator(signer=self.node, scheme=AuthenticationScheme.THRESHOLD,
+                             payload_digest=payload_digest, token=share)
+
+    def verify_threshold_share(self, payload: Any, authenticator: Authenticator,
+                               group_name: str) -> bool:
+        """Verify that a share was produced by a group member over ``payload``."""
+        if authenticator.scheme is not AuthenticationScheme.THRESHOLD:
+            return False
+        group = self.keystore.threshold_group(group_name)
+        if authenticator.signer not in group.members:
+            return False
+        payload_digest = self.payload_digest(payload)
+        if not authenticator.covers(payload_digest):
+            return False
+        expected = _hmac(group.share_key(authenticator.signer), b"share:" + payload_digest)
+        self._charge(self.costs.mac_ms)
+        self._record("threshold_share_verify")
+        return hmac.compare_digest(authenticator.token, expected)
+
+    def threshold_combine(self, payload: Any, group_name: str,
+                          shares: Iterable[Authenticator]) -> bytes:
+        """Combine ``k`` valid shares into the group signature.
+
+        Raises :class:`VerificationError` if fewer than the group threshold of
+        *distinct, valid* shares are provided.  The combined value is a
+        deterministic function of the payload alone -- matching the paper's
+        observation that threshold signatures prevent an adversary from
+        leaking information through certificate membership sets.
+        """
+        group = self.keystore.threshold_group(group_name)
+        payload_digest = self.payload_digest(payload)
+        valid_signers = set()
+        for share in shares:
+            if self.verify_threshold_share(payload, share, group_name):
+                valid_signers.add(share.signer)
+        if len(valid_signers) < group.threshold:
+            raise VerificationError(
+                f"threshold combine needs {group.threshold} valid shares, "
+                f"got {len(valid_signers)}"
+            )
+        self._charge(self.costs.threshold_combine_ms)
+        self._record("threshold_combine")
+        return _hmac(group.group_key, b"combined:" + payload_digest)
+
+    def verify_threshold_signature(self, payload: Any, signature: bytes,
+                                   group_name: str) -> bool:
+        """Verify a combined group signature over ``payload``."""
+        group = self.keystore.threshold_group(group_name)
+        payload_digest = self.payload_digest(payload)
+        expected = _hmac(group.group_key, b"combined:" + payload_digest)
+        self._charge(self.costs.threshold_verify_ms)
+        self._record("threshold_verify")
+        return hmac.compare_digest(signature, expected)
+
+    # ------------------------------------------------------------------ #
+    # Certificates.
+    # ------------------------------------------------------------------ #
+
+    def authenticate(self, certificate: Certificate,
+                     destinations: Iterable[NodeId]) -> Certificate:
+        """Add this node's authenticator to ``certificate`` and return it."""
+        if certificate.scheme is AuthenticationScheme.MAC:
+            certificate.add(self.mac_authenticator(certificate.payload, destinations))
+        elif certificate.scheme is AuthenticationScheme.SIGNATURE:
+            certificate.add(self.sign(certificate.payload))
+        elif certificate.scheme is AuthenticationScheme.THRESHOLD:
+            if certificate.threshold_group is None:
+                raise CertificateError("threshold certificate has no group name")
+            certificate.add(self.threshold_share(certificate.payload,
+                                                 certificate.threshold_group))
+        else:  # pragma: no cover - exhaustive over the enum
+            raise CertificateError(f"unknown scheme {certificate.scheme}")
+        return certificate
+
+    def new_certificate(self, payload: Any, scheme: AuthenticationScheme,
+                        destinations: Iterable[NodeId],
+                        threshold_group: Optional[str] = None) -> Certificate:
+        """Create a certificate for ``payload`` carrying this node's authenticator."""
+        certificate = Certificate(payload=payload, scheme=scheme,
+                                  threshold_group=threshold_group)
+        return self.authenticate(certificate, destinations)
+
+    def valid_signers(self, certificate: Certificate,
+                      universe: Optional[Iterable[NodeId]] = None) -> List[NodeId]:
+        """Return the distinct signers whose authenticators verify at this node."""
+        allowed = None if universe is None else frozenset(universe)
+        valid: List[NodeId] = []
+        for authenticator in certificate.authenticator_list():
+            if allowed is not None and authenticator.signer not in allowed:
+                continue
+            if certificate.scheme is AuthenticationScheme.MAC:
+                ok = self.verify_mac(certificate.payload, authenticator)
+            elif certificate.scheme is AuthenticationScheme.SIGNATURE:
+                ok = self.verify_signature(certificate.payload, authenticator)
+            else:
+                if certificate.threshold_group is None:
+                    ok = False
+                else:
+                    ok = self.verify_threshold_share(certificate.payload, authenticator,
+                                                     certificate.threshold_group)
+            if ok:
+                valid.append(authenticator.signer)
+        return valid
+
+    def verify_certificate(self, certificate: Certificate, required: int,
+                           universe: Optional[Iterable[NodeId]] = None) -> bool:
+        """Check that the certificate carries ``required`` valid authenticators.
+
+        A threshold certificate with a combined signature verifies directly
+        against the group signature regardless of which shares are attached.
+        """
+        if (certificate.scheme is AuthenticationScheme.THRESHOLD
+                and certificate.threshold_signature is not None
+                and certificate.threshold_group is not None):
+            return self.verify_threshold_signature(
+                certificate.payload, certificate.threshold_signature,
+                certificate.threshold_group,
+            )
+        return len(self.valid_signers(certificate, universe)) >= required
+
+    def require_certificate(self, certificate: Certificate, required: int,
+                            universe: Optional[Iterable[NodeId]] = None,
+                            description: str = "certificate") -> None:
+        """Raise :class:`VerificationError` unless the certificate verifies."""
+        if not self.verify_certificate(certificate, required, universe):
+            raise VerificationError(
+                f"{description} does not carry {required} valid authenticators"
+            )

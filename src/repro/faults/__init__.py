@@ -1,0 +1,30 @@
+"""Fault injection: crash faults and Byzantine behaviours.
+
+The paper's fault model allows arbitrary (Byzantine) behaviour from up to
+``f`` agreement nodes, ``g`` execution nodes, and ``h`` privacy-firewall
+filters.  This package provides:
+
+* :class:`FaultInjector` -- schedule crashes and recoveries at virtual times;
+* Byzantine *behaviours* that wrap a correct node and corrupt its outputs
+  (wrong reply bodies, leaked plaintext, equivocation, silence), used by the
+  safety and confidentiality tests to show that the protocol masks them.
+"""
+
+from .injector import FaultInjector, FaultPlan
+from .byzantine import (
+    ByzantineBehaviour,
+    CorruptReplyBehaviour,
+    LeakPlaintextBehaviour,
+    SilentBehaviour,
+    make_byzantine,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "ByzantineBehaviour",
+    "CorruptReplyBehaviour",
+    "LeakPlaintextBehaviour",
+    "SilentBehaviour",
+    "make_byzantine",
+]

@@ -1,0 +1,128 @@
+"""Byzantine behaviours.
+
+A Byzantine node can do anything except break cryptography.  Rather than
+re-implementing whole malicious nodes, these behaviours wrap a *correct*
+node's outgoing messages (via a network tap) and corrupt them in targeted
+ways.  This gives the tests precise control over the attack while keeping the
+node's internal bookkeeping intact:
+
+* :class:`CorruptReplyBehaviour` -- the node reports wrong results for every
+  request it executes (an integrity attack the reply quorum must mask);
+* :class:`LeakPlaintextBehaviour` -- the node strips the encryption from reply
+  bodies it sends (a confidentiality attack the privacy firewall must stop --
+  and will, because a tampered body no longer matches the ``g + 1`` quorum /
+  threshold signature and is filtered);
+* :class:`SilentBehaviour` -- the node stops sending anything (a crash-like
+  omission fault that exercises retransmission and quorum margins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.system import SimulatedSystem
+from ..messages.reply import BatchReply, BatchReplyBody, ClientReply, ReplyBody
+from ..messages.request import EncryptedBody
+from ..net.message import Message
+from ..statemachine.interface import OperationResult
+from ..util.ids import NodeId, Role
+
+
+class ByzantineBehaviour:
+    """Base class: a transformation applied to one node's outgoing messages."""
+
+    def __init__(self, node: NodeId) -> None:
+        self.node = node
+        self.messages_affected = 0
+
+    def install(self, system: SimulatedSystem) -> None:
+        """Attach this behaviour to the system's network."""
+        system.network.add_tap(self._tap)
+
+    def _tap(self, source: NodeId, destination: NodeId,
+             message: Message) -> Optional[Message]:
+        if source != self.node:
+            return None
+        replacement = self.transform(destination, message)
+        if replacement is not None:
+            self.messages_affected += 1
+        return replacement
+
+    def transform(self, destination: NodeId, message: Message) -> Optional[Message]:
+        """Return a replacement message, or None to leave it unchanged."""
+        raise NotImplementedError
+
+
+class SilentBehaviour(ByzantineBehaviour):
+    """The node's messages never reach the network (omission fault)."""
+
+    class _Dropped(Message):
+        def payload_fields(self):
+            return {"dropped": True}
+
+        def wire_size(self) -> int:
+            return 0
+
+    def install(self, system: SimulatedSystem) -> None:
+        # Simplest faithful implementation: crash the process, which silences
+        # it without altering its internal state.
+        system.network.process(self.node).crash()
+
+    def transform(self, destination: NodeId, message: Message) -> Optional[Message]:
+        return None
+
+
+class CorruptReplyBehaviour(ByzantineBehaviour):
+    """Replace the results inside every reply this node sends."""
+
+    def __init__(self, node: NodeId, corrupt_value: object = "CORRUPTED") -> None:
+        super().__init__(node)
+        self.corrupt_value = corrupt_value
+
+    def _corrupt_body(self, body: BatchReplyBody) -> BatchReplyBody:
+        corrupted = tuple(
+            ReplyBody(view=reply.view, seq=reply.seq, timestamp=reply.timestamp,
+                      client=reply.client,
+                      result=OperationResult(value=self.corrupt_value, size=16))
+            for reply in body.replies
+        )
+        return BatchReplyBody(view=body.view, seq=body.seq, replies=corrupted)
+
+    def transform(self, destination: NodeId, message: Message) -> Optional[Message]:
+        if isinstance(message, BatchReply):
+            body = self._corrupt_body(message.body)
+            return BatchReply(seq=message.seq, body=body,
+                              certificate=message.certificate, sender=message.sender)
+        if isinstance(message, ClientReply):
+            body = self._corrupt_body(message.body)
+            reply = body.reply_for(message.reply.client) or message.reply
+            return ClientReply(reply=reply, body=body, certificate=message.certificate)
+        return None
+
+
+class LeakPlaintextBehaviour(ByzantineBehaviour):
+    """Strip encryption from reply bodies (attempted confidentiality leak)."""
+
+    def _expose(self, body: BatchReplyBody) -> BatchReplyBody:
+        exposed = []
+        for reply in body.replies:
+            result = reply.result
+            if isinstance(result, EncryptedBody):
+                result = result.open(Role.EXECUTION)
+            exposed.append(ReplyBody(view=reply.view, seq=reply.seq,
+                                     timestamp=reply.timestamp, client=reply.client,
+                                     result=result))
+        return BatchReplyBody(view=body.view, seq=body.seq, replies=tuple(exposed))
+
+    def transform(self, destination: NodeId, message: Message) -> Optional[Message]:
+        if isinstance(message, BatchReply):
+            return BatchReply(seq=message.seq, body=self._expose(message.body),
+                              certificate=message.certificate, sender=message.sender)
+        return None
+
+
+def make_byzantine(system: SimulatedSystem, behaviour: ByzantineBehaviour) -> ByzantineBehaviour:
+    """Install ``behaviour`` on ``system`` and return it (for assertions)."""
+    behaviour.install(system)
+    return behaviour

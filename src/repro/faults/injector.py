@@ -1,0 +1,94 @@
+"""Scheduling of crash faults and recoveries.
+
+A :class:`FaultPlan` is a declarative list of fault events (crash node X at
+time T, recover it at time T', partition a link over an interval); the
+:class:`FaultInjector` installs them on a running system's scheduler.  The
+Andrew-with-failures experiment (Figure 7) crashes one execution server or
+one agreement node at the start of the benchmark; the liveness tests use
+richer plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.system import SimulatedSystem
+from ..sim.process import Process
+from ..util.ids import NodeId
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action."""
+
+    at_ms: float
+    kind: str  # "crash", "recover", "partition", "heal"
+    node: Optional[NodeId] = None
+    link: Optional[Tuple[NodeId, NodeId]] = None
+
+
+@dataclass
+class FaultPlan:
+    """A declarative schedule of fault events."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def crash(self, node: NodeId, at_ms: float = 0.0) -> "FaultPlan":
+        self.events.append(FaultEvent(at_ms=at_ms, kind="crash", node=node))
+        return self
+
+    def recover(self, node: NodeId, at_ms: float) -> "FaultPlan":
+        self.events.append(FaultEvent(at_ms=at_ms, kind="recover", node=node))
+        return self
+
+    def partition(self, a: NodeId, b: NodeId, at_ms: float = 0.0) -> "FaultPlan":
+        self.events.append(FaultEvent(at_ms=at_ms, kind="partition", link=(a, b)))
+        return self
+
+    def heal(self, a: NodeId, b: NodeId, at_ms: float) -> "FaultPlan":
+        self.events.append(FaultEvent(at_ms=at_ms, kind="heal", link=(a, b)))
+        return self
+
+
+class FaultInjector:
+    """Installs a :class:`FaultPlan` onto a system's scheduler."""
+
+    def __init__(self, system: SimulatedSystem) -> None:
+        self.system = system
+        self.applied: List[FaultEvent] = []
+
+    def _process(self, node: NodeId) -> Process:
+        return self.system.network.process(node)
+
+    def install(self, plan: FaultPlan) -> None:
+        """Schedule every event in ``plan`` relative to the current time."""
+        for event in plan.events:
+            when = self.system.now + event.at_ms
+            self.system.scheduler.call_at(when, lambda e=event: self._apply(e),
+                                          label=f"fault:{event.kind}")
+
+    def _apply(self, event: FaultEvent) -> None:
+        if event.kind == "crash" and event.node is not None:
+            self._process(event.node).crash()
+        elif event.kind == "recover" and event.node is not None:
+            self._process(event.node).recover()
+        elif event.kind == "partition" and event.link is not None:
+            self.system.network.faults.partition(*event.link)
+        elif event.kind == "heal" and event.link is not None:
+            self.system.network.faults.heal(*event.link)
+        self.applied.append(event)
+
+    # ------------------------------------------------------------------ #
+    # Convenience helpers used by benchmarks.
+    # ------------------------------------------------------------------ #
+
+    def crash_now(self, node: NodeId) -> None:
+        """Crash ``node`` immediately."""
+        self._process(node).crash()
+        self.applied.append(FaultEvent(at_ms=self.system.now, kind="crash", node=node))
+
+    def recover_now(self, node: NodeId) -> None:
+        """Clear the crash flag on ``node`` immediately."""
+        self._process(node).recover()
+        self.applied.append(FaultEvent(at_ms=self.system.now, kind="recover", node=node))

@@ -1,0 +1,24 @@
+"""The privacy firewall (Section 4 of the paper).
+
+An ``(h + 1) x (h + 1)`` array of filter nodes sits between the agreement
+cluster and the execution cluster.  Requests (ordered batches) flow up
+through the columns; replies flow down, but a filter only passes a reply that
+carries a *complete* reply certificate -- the top row combines ``g + 1``
+threshold-signature shares from execution nodes into a single group
+signature, and every row below verifies that signature before forwarding.
+With at most ``h`` faulty filters there is always a fully correct row (the
+*correct cut*) that suppresses minority/incorrect replies and strips any
+nondeterminism an adversary could use as a covert channel, and always a fully
+correct path that preserves availability.
+"""
+
+from .filter_node import FilterNode
+from .array import FirewallArray
+from .confidentiality import ConfidentialityAuditor, LeakObservation
+
+__all__ = [
+    "FilterNode",
+    "FirewallArray",
+    "ConfidentialityAuditor",
+    "LeakObservation",
+]

@@ -1,0 +1,59 @@
+"""Protocol message formats.
+
+The message formats follow Section 3 of the paper (which in turn follows
+Castro and Liskov's):
+
+* ``<REQUEST, o, t, c>_{c,A,1}``       -- :class:`ClientRequest` wrapped in a request certificate,
+* ``<COMMIT, v, n, d, A>_{A,E,2f+1}``  -- :class:`AgreementCertBody` wrapped in an agreement certificate,
+* ``<REPLY, v, n, t, c, E, r>_{E,c,g+1}`` -- :class:`ReplyBody` inside a :class:`BatchReplyBody`
+  wrapped in a reply certificate,
+* ``<CHECKPOINT, n, d>_{E,E,g+1}``     -- :class:`ExecCheckpointShare` / proof of stability.
+
+One generalisation: a *bundle* (batch) of requests shares a single sequence
+number and a single reply certificate, which is how the paper amortises the
+threshold-signature cost across replies (Section 5.3).  With ``bundle_size=1``
+the formats reduce exactly to the per-request certificates above.
+"""
+
+from .request import EncryptedBody, ClientRequest, RequestEnvelope
+from .agreement import (
+    AgreementCertBody,
+    PrePrepare,
+    Prepare,
+    CommitMsg,
+    AgreementCheckpoint,
+    ViewChange,
+    NewView,
+    OrderedBatch,
+)
+from .reply import ReplyBody, BatchReplyBody, BatchReply, ClientReply
+from .checkpoint import (
+    ExecCheckpointShare,
+    ExecCheckpointProof,
+    FetchBatch,
+    BatchTransfer,
+    StateTransfer,
+)
+
+__all__ = [
+    "EncryptedBody",
+    "ClientRequest",
+    "RequestEnvelope",
+    "AgreementCertBody",
+    "PrePrepare",
+    "Prepare",
+    "CommitMsg",
+    "AgreementCheckpoint",
+    "ViewChange",
+    "NewView",
+    "OrderedBatch",
+    "ReplyBody",
+    "BatchReplyBody",
+    "BatchReply",
+    "ClientReply",
+    "ExecCheckpointShare",
+    "ExecCheckpointProof",
+    "FetchBatch",
+    "BatchTransfer",
+    "StateTransfer",
+]

@@ -1,0 +1,235 @@
+"""Agreement-cluster messages.
+
+The internal three-phase protocol (PRE-PREPARE / PREPARE / COMMIT), the
+checkpoint and view-change messages of the BASE-style agreement library, and
+the two artefacts the rest of the system consumes:
+
+* :class:`AgreementCertBody` -- the payload of the paper's agreement
+  certificate ``<COMMIT, v, n, d, A>_{A,E,2f+1}``, binding a batch digest to a
+  view and sequence number together with the obliviously chosen
+  nondeterminism inputs;
+* :class:`OrderedBatch` -- the message the agreement cluster's message queues
+  send towards the execution cluster: the request certificates of the batch
+  plus the agreement certificate that orders them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..crypto.certificate import Authenticator, Certificate
+from ..net.message import Message
+from ..statemachine.nondet import NonDetInput
+from ..util.ids import NodeId
+
+
+@dataclass(frozen=True)
+class AgreementCertBody(Message):
+    """Payload of the agreement certificate for one batch.
+
+    ``batch_digest`` is the digest of the ordered tuple of request digests in
+    the batch; ``nondet`` carries the agreed nondeterminism inputs.
+    """
+
+    view: int
+    seq: int
+    batch_digest: bytes
+    nondet: NonDetInput
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "v": self.view,
+            "n": self.seq,
+            "d": self.batch_digest,
+            "nondet": self.nondet.to_wire(),
+        }
+
+
+@dataclass(frozen=True)
+class PrePrepare(Message):
+    """Primary's PRE-PREPARE for a batch of request certificates."""
+
+    view: int
+    seq: int
+    batch_digest: bytes
+    requests: Tuple[Certificate, ...]
+    nondet: NonDetInput
+    primary: NodeId
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "v": self.view,
+            "n": self.seq,
+            "d": self.batch_digest,
+            "nondet": self.nondet.to_wire(),
+            "primary": self.primary.name,
+        }
+
+    @property
+    def padding_bytes(self) -> int:  # type: ignore[override]
+        return sum(cert.wire_size() for cert in self.requests)
+
+
+@dataclass(frozen=True)
+class Prepare(Message):
+    """Backup's PREPARE vote for (view, seq, batch_digest)."""
+
+    view: int
+    seq: int
+    batch_digest: bytes
+    replica: NodeId
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "v": self.view,
+            "n": self.seq,
+            "d": self.batch_digest,
+            "i": self.replica.name,
+        }
+
+
+@dataclass(frozen=True)
+class CommitMsg(Message):
+    """COMMIT vote for (view, seq, batch_digest).
+
+    ``cert_authenticator`` is the sender's authenticator over the
+    corresponding :class:`AgreementCertBody`, addressed to the execution
+    cluster (and firewall).  Collecting ``2f + 1`` of these is what turns a
+    committed batch into a transferable agreement certificate.
+    """
+
+    view: int
+    seq: int
+    batch_digest: bytes
+    replica: NodeId
+    cert_authenticator: Optional["Authenticator"] = None
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "v": self.view,
+            "n": self.seq,
+            "d": self.batch_digest,
+            "i": self.replica.name,
+        }
+
+
+@dataclass(frozen=True)
+class AgreementCheckpoint(Message):
+    """Agreement-cluster checkpoint vote at sequence number ``seq``."""
+
+    seq: int
+    state_digest: bytes
+    replica: NodeId
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "n": self.seq,
+            "d": self.state_digest,
+            "i": self.replica.name,
+        }
+
+
+@dataclass(frozen=True)
+class PreparedProof(Message):
+    """Evidence that a batch prepared at a replica (used in view changes)."""
+
+    view: int
+    seq: int
+    batch_digest: bytes
+    requests: Tuple[Certificate, ...]
+    nondet: NonDetInput
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "v": self.view,
+            "n": self.seq,
+            "d": self.batch_digest,
+        }
+
+
+@dataclass(frozen=True)
+class ViewChange(Message):
+    """VIEW-CHANGE vote for ``new_view``.
+
+    ``prepared`` carries, for every sequence number above the replica's last
+    stable checkpoint that prepared locally, the proof needed for the new
+    primary to re-propose it.
+    """
+
+    new_view: int
+    last_stable_seq: int
+    prepared: Tuple[PreparedProof, ...]
+    replica: NodeId
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "v": self.new_view,
+            "h": self.last_stable_seq,
+            "prepared": [p.to_wire() for p in self.prepared],
+            "i": self.replica.name,
+        }
+
+
+@dataclass(frozen=True)
+class NewView(Message):
+    """NEW-VIEW announcement from the primary of ``view``.
+
+    ``pre_prepares`` re-proposes every prepared-but-uncommitted batch from the
+    previous views so that no agreed ordering is lost across the view change.
+    """
+
+    view: int
+    view_change_replicas: Tuple[str, ...]
+    pre_prepares: Tuple[PrePrepare, ...]
+    primary: NodeId
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "v": self.view,
+            "vc": list(self.view_change_replicas),
+            "pp": [p.to_wire() for p in self.pre_prepares],
+            "primary": self.primary.name,
+        }
+
+
+@dataclass(frozen=True)
+class OrderedBatch(Message):
+    """A batch of requests plus the agreement certificate that orders it.
+
+    This is the unit that flows from the agreement cluster (message queues)
+    through the optional privacy firewall to the execution cluster.  The
+    request certificates carry the (possibly encrypted) operations; the
+    agreement certificate carries the 2f+1 agreement authenticators over
+    :class:`AgreementCertBody`.
+    """
+
+    seq: int
+    view: int
+    request_certificates: Tuple[Certificate, ...]
+    agreement_certificate: Certificate
+    nondet: NonDetInput
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "n": self.seq,
+            "v": self.view,
+            "requests": [cert.to_wire() for cert in self.request_certificates],
+            "agreement": self.agreement_certificate.to_wire(),
+        }
+
+    @property
+    def padding_bytes(self) -> int:  # type: ignore[override]
+        return sum(
+            getattr(cert.payload, "padding_bytes", 0)
+            for cert in self.request_certificates
+        )
+
+    @property
+    def cert_body(self) -> AgreementCertBody:
+        """The agreement certificate payload (view, seq, digest, nondet)."""
+        return self.agreement_certificate.payload
+
+    def client_requests(self):
+        """The client request messages in batch order."""
+        return [cert.payload for cert in self.request_certificates]

@@ -1,0 +1,127 @@
+"""Execution-cluster checkpoint, retransmission, and state-transfer messages.
+
+Execution nodes periodically checkpoint their application state plus their
+per-client reply table, multicast ``<CHECKPOINT, n, d>_{i,E,1}`` shares to the
+rest of the cluster, and assemble ``g + 1`` matching shares into a *proof of
+stability* that lets them garbage-collect older state (Section 3.3.2).
+
+The intra-cluster retransmission protocol (Section 3.3.1) uses
+:class:`FetchBatch` to request a missing sequence number from peers, which
+answer with either the :class:`BatchTransfer` of that batch or a
+:class:`StateTransfer` of a newer stable checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..crypto.certificate import Authenticator, Certificate
+from ..net.message import Message
+from ..util.ids import NodeId
+from .agreement import OrderedBatch
+
+
+def checkpoint_payload(seq: int, state_digest: bytes) -> Dict[str, Any]:
+    """The canonical payload that checkpoint-share authenticators cover.
+
+    Using a plain dict (rather than a message carrying the voting replica's
+    identity) means every replica's authenticator covers identical bytes, so
+    the shares can be merged into one transferable proof of stability.
+    """
+    return {"exec-checkpoint": seq, "digest": state_digest}
+
+
+@dataclass(frozen=True)
+class ExecCheckpointShare(Message):
+    """One execution node's vote that its state at ``seq`` digests to ``state_digest``.
+
+    ``authenticator`` covers :func:`checkpoint_payload` so that ``g + 1``
+    shares assemble into a transferable proof of stability.
+    """
+
+    seq: int
+    state_digest: bytes
+    replica: NodeId
+    authenticator: Optional["Authenticator"] = None
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "n": self.seq,
+            "d": self.state_digest,
+            "i": self.replica.name,
+        }
+
+
+@dataclass(frozen=True)
+class ExecCheckpointProof(Message):
+    """A proof of stability: ``g + 1`` matching checkpoint shares."""
+
+    seq: int
+    state_digest: bytes
+    certificate: Certificate
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "n": self.seq,
+            "d": self.state_digest,
+            "certificate": self.certificate.to_wire(),
+        }
+
+
+@dataclass(frozen=True)
+class FetchBatch(Message):
+    """Request to peers for a missing ordered batch (sequence number gap)."""
+
+    seq: int
+    replica: NodeId
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {"n": self.seq, "i": self.replica.name}
+
+
+@dataclass(frozen=True)
+class BatchTransfer(Message):
+    """Answer to :class:`FetchBatch`: the ordered batch itself."""
+
+    batch: OrderedBatch
+    replica: NodeId
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "batch": self.batch.to_wire(),
+            "i": self.replica.name,
+        }
+
+    @property
+    def padding_bytes(self) -> int:  # type: ignore[override]
+        return self.batch.padding_bytes
+
+
+@dataclass(frozen=True)
+class StateTransfer(Message):
+    """Answer to :class:`FetchBatch` when the batch was garbage collected.
+
+    Carries a stable checkpoint newer than the requested sequence number: the
+    serialized application state, the serialized reply table, and the proof of
+    stability certifying their digest.
+    """
+
+    seq: int
+    app_state: bytes
+    reply_table: bytes
+    proof: ExecCheckpointProof
+    replica: NodeId
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "n": self.seq,
+            "app_digest_len": len(self.app_state),
+            "reply_table_len": len(self.reply_table),
+            "proof": self.proof.to_wire(),
+            "i": self.replica.name,
+        }
+
+    @property
+    def padding_bytes(self) -> int:  # type: ignore[override]
+        return len(self.app_state) + len(self.reply_table)

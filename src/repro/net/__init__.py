@@ -1,0 +1,26 @@
+"""Simulated asynchronous unreliable network.
+
+The network model matches the paper's assumptions: messages may be dropped,
+delayed, duplicated, reordered, and corrupted; there is no bound on delivery
+delay, but the *bounded fair links* assumption (retransmitted messages are
+eventually delivered) holds because drop decisions are independent per copy.
+
+A :class:`Topology` restricts which node pairs have a physical link.  The
+privacy firewall's confidentiality argument depends on this restriction:
+execution nodes can talk only to the top filter row, each filter row only to
+the rows directly above and below, and clients only to agreement nodes.
+"""
+
+from .message import Message, CorruptedMessage
+from .topology import Topology
+from .faults import NetworkFaultModel, PerfectNetworkFaults
+from .network import Network
+
+__all__ = [
+    "Message",
+    "CorruptedMessage",
+    "Topology",
+    "NetworkFaultModel",
+    "PerfectNetworkFaults",
+    "Network",
+]

@@ -1,0 +1,121 @@
+"""Network fault models.
+
+The paper assumes an unreliable network that can discard, delay, replicate,
+reorder, and alter messages.  :class:`NetworkFaultModel` implements exactly
+those behaviours, driven by :class:`repro.config.NetworkConfig` probabilities
+and a deterministic random stream.  :class:`PerfectNetworkFaults` is the
+degenerate model used by unit tests that want fully reliable delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..config import NetworkConfig
+from ..sim.rand import DeterministicRandom
+from ..util.ids import NodeId
+from .message import CorruptedMessage, Message
+
+
+@dataclass
+class DeliveryPlan:
+    """What the network decided to do with one transmission.
+
+    ``deliveries`` is a list of (delay_ms, message) pairs: an empty list means
+    the message was dropped, more than one entry means it was duplicated, and
+    a replaced message payload means corruption.
+    """
+
+    deliveries: List[Tuple[float, Message]]
+    dropped: bool
+
+
+class NetworkFaultModel:
+    """Stochastic unreliable-network behaviour."""
+
+    def __init__(self, config: NetworkConfig, rng: DeterministicRandom) -> None:
+        config.validate()
+        self.config = config
+        self.rng = rng
+        self._partitioned: Set[frozenset] = set()
+        self.stats_dropped = 0
+        self.stats_duplicated = 0
+        self.stats_corrupted = 0
+        self.stats_delivered = 0
+
+    # ------------------------------------------------------------------ #
+    # Partitions (used by fault-injection experiments).
+    # ------------------------------------------------------------------ #
+
+    def partition(self, a: NodeId, b: NodeId) -> None:
+        """Cut the link between ``a`` and ``b`` until healed."""
+        self._partitioned.add(frozenset((a, b)))
+
+    def heal(self, a: NodeId, b: NodeId) -> None:
+        """Heal a previously cut link."""
+        self._partitioned.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        """Heal every partition."""
+        self._partitioned.clear()
+
+    def is_partitioned(self, a: NodeId, b: NodeId) -> bool:
+        return frozenset((a, b)) in self._partitioned
+
+    # ------------------------------------------------------------------ #
+    # Per-message decisions.
+    # ------------------------------------------------------------------ #
+
+    def base_delay(self, size_bytes: int) -> float:
+        """Propagation plus transmission delay for a message of ``size_bytes``."""
+        propagation = self.rng.uniform(self.config.min_delay_ms, self.config.max_delay_ms)
+        transmission = size_bytes / self.config.bandwidth_bytes_per_ms
+        return propagation + transmission
+
+    def plan(self, source: NodeId, destination: NodeId, message: Message) -> DeliveryPlan:
+        """Decide drop/duplicate/delay/corrupt for one transmission."""
+        if self.is_partitioned(source, destination):
+            self.stats_dropped += 1
+            return DeliveryPlan(deliveries=[], dropped=True)
+
+        if self.rng.chance(self.config.drop_probability):
+            self.stats_dropped += 1
+            return DeliveryPlan(deliveries=[], dropped=True)
+
+        size = message.wire_size()
+        copies = 1
+        if self.rng.chance(self.config.duplicate_probability):
+            copies += 1
+            self.stats_duplicated += 1
+
+        deliveries: List[Tuple[float, Message]] = []
+        for _ in range(copies):
+            delay = self.base_delay(size)
+            if self.rng.chance(self.config.reorder_probability):
+                # Reordering is modelled as extra delay on this copy.
+                delay += self.rng.uniform(0.0, 4.0 * self.config.max_delay_ms)
+            payload: Message = message
+            if self.rng.chance(self.config.corrupt_probability):
+                payload = CorruptedMessage(message.type_name(), size)
+                self.stats_corrupted += 1
+            deliveries.append((delay, payload))
+            self.stats_delivered += 1
+        return DeliveryPlan(deliveries=deliveries, dropped=False)
+
+
+class PerfectNetworkFaults(NetworkFaultModel):
+    """Reliable, low-jitter network used by unit tests."""
+
+    def __init__(self, rng: Optional[DeterministicRandom] = None,
+                 delay_ms: float = 0.1) -> None:
+        config = NetworkConfig(min_delay_ms=delay_ms, max_delay_ms=delay_ms)
+        super().__init__(config, rng or DeterministicRandom(0, "perfect-net"))
+
+    def plan(self, source: NodeId, destination: NodeId, message: Message) -> DeliveryPlan:
+        if self.is_partitioned(source, destination):
+            self.stats_dropped += 1
+            return DeliveryPlan(deliveries=[], dropped=True)
+        delay = self.base_delay(message.wire_size())
+        self.stats_delivered += 1
+        return DeliveryPlan(deliveries=[(delay, message)], dropped=False)

@@ -1,0 +1,131 @@
+"""The simulated network.
+
+The :class:`Network` connects :class:`~repro.sim.process.Process` instances
+through a :class:`~repro.net.topology.Topology` and a
+:class:`~repro.net.faults.NetworkFaultModel`.  A ``send`` consults the
+topology (raising :class:`TopologyError` on forbidden links), asks the fault
+model what to do with the transmission, and schedules zero or more delivery
+events on the destination process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import NetworkError
+from ..sim.scheduler import Scheduler
+from ..sim.process import Process
+from ..util.ids import NodeId
+from .faults import NetworkFaultModel, PerfectNetworkFaults
+from .message import Message
+from .topology import Topology
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate counters for a simulation run."""
+
+    sends: int = 0
+    deliveries: int = 0
+    bytes_sent: int = 0
+    drops_by_topology: int = 0
+    per_type: Dict[str, int] = field(default_factory=dict)
+
+    def record_type(self, type_name: str) -> None:
+        self.per_type[type_name] = self.per_type.get(type_name, 0) + 1
+
+
+MessageTap = Callable[[NodeId, NodeId, Message], Optional[Message]]
+
+
+class Network:
+    """Message transport between registered processes."""
+
+    def __init__(self, scheduler: Scheduler,
+                 topology: Optional[Topology] = None,
+                 faults: Optional[NetworkFaultModel] = None,
+                 enforce_topology: bool = True) -> None:
+        self.scheduler = scheduler
+        self.topology = topology or Topology.full()
+        self.faults = faults or PerfectNetworkFaults(scheduler.random.fork("network"))
+        self.enforce_topology = enforce_topology
+        self.stats = NetworkStats()
+        self._processes: Dict[NodeId, Process] = {}
+        self._taps: List[MessageTap] = []
+
+    # ------------------------------------------------------------------ #
+    # Registration.
+    # ------------------------------------------------------------------ #
+
+    def register(self, process: Process) -> None:
+        """Register ``process`` as the endpoint for its node id."""
+        if process.node_id in self._processes:
+            raise NetworkError(f"node {process.node_id} registered twice")
+        self._processes[process.node_id] = process
+        process.attach_network(self)
+        self.topology.add_node(process.node_id)
+
+    def process(self, node_id: NodeId) -> Process:
+        """Return the process registered under ``node_id``."""
+        try:
+            return self._processes[node_id]
+        except KeyError:
+            raise NetworkError(f"unknown node {node_id}") from None
+
+    @property
+    def node_ids(self) -> List[NodeId]:
+        return sorted(self._processes)
+
+    # ------------------------------------------------------------------ #
+    # Observation hooks (used by confidentiality tests and fault injection).
+    # ------------------------------------------------------------------ #
+
+    def add_tap(self, tap: MessageTap) -> None:
+        """Install an observer called for every send.
+
+        The tap may return a replacement message (used by Byzantine network
+        experiments) or ``None`` to leave the message unchanged.  Taps see
+        messages *before* fault-model processing.
+        """
+        self._taps.append(tap)
+
+    # ------------------------------------------------------------------ #
+    # Sending.
+    # ------------------------------------------------------------------ #
+
+    def send(self, source: NodeId, destination: NodeId, message: Message) -> None:
+        """Transmit ``message`` from ``source`` to ``destination``.
+
+        Unknown destinations are ignored (the node may have been removed by a
+        fault-injection experiment); forbidden links raise
+        :class:`TopologyError` when topology enforcement is on.
+        """
+        if self.enforce_topology:
+            self.topology.check(source, destination)
+        for tap in self._taps:
+            replacement = tap(source, destination, message)
+            if replacement is not None:
+                message = replacement
+        self.stats.sends += 1
+        self.stats.record_type(message.type_name())
+        self.stats.bytes_sent += message.wire_size()
+
+        target = self._processes.get(destination)
+        if target is None:
+            return
+        plan = self.faults.plan(source, destination, message)
+        for delay, payload in plan.deliveries:
+            size = payload.wire_size()
+            self.scheduler.call_after(
+                delay,
+                lambda payload=payload, size=size: target.deliver(source, payload, size),
+                label=f"deliver:{message.type_name()}:{source}->{destination}",
+            )
+            self.stats.deliveries += 1
+
+    def broadcast(self, source: NodeId, destinations: List[NodeId], message: Message) -> None:
+        """Send ``message`` from ``source`` to every node in ``destinations``."""
+        for destination in destinations:
+            if destination != source:
+                self.send(source, destination, message)

@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel.
+
+The kernel provides a virtual clock, an event queue, and a node/process
+abstraction with per-node serialized processing and cost accounting.  All of
+the paper's latency and throughput results are measured in virtual time
+produced by this kernel together with the cost model in :mod:`repro.crypto.costs`.
+"""
+
+from .clock import VirtualClock
+from .events import Event, EventQueue
+from .scheduler import Scheduler, Timer
+from .process import Process, ProcessStats
+from .rand import DeterministicRandom
+
+__all__ = [
+    "VirtualClock",
+    "Event",
+    "EventQueue",
+    "Scheduler",
+    "Timer",
+    "Process",
+    "ProcessStats",
+    "DeterministicRandom",
+]

@@ -1,0 +1,73 @@
+"""Event queue for the discrete-event simulator.
+
+Events are ordered by (time, sequence) so that events scheduled for the same
+virtual instant fire in the order they were scheduled, which keeps the
+simulation deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    ``cancelled`` events stay in the heap but are skipped when popped; this is
+    the standard lazy-deletion trick and is how timers are cancelled cheaply.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler will skip it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` objects keyed by virtual time."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None
+
+    def push(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at virtual ``time`` and return the event handle."""
+        if time < 0:
+            raise SimulationError("cannot schedule an event before time zero")
+        event = Event(time=time, sequence=next(self._counter),
+                      callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or None if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

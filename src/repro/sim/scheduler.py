@@ -1,0 +1,135 @@
+"""The discrete-event scheduler.
+
+The scheduler owns the virtual clock and the event queue and is the only
+component allowed to advance time.  Protocol code interacts with it through
+:meth:`Scheduler.call_at` / :meth:`Scheduler.call_after` (one-shot callbacks)
+and the :class:`Timer` handles they return.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import LivenessTimeoutError, SimulationError
+from .clock import VirtualClock
+from .events import Event, EventQueue
+from .rand import DeterministicRandom
+
+
+class Timer:
+    """Handle to a scheduled callback, supporting cancellation and queries."""
+
+    def __init__(self, scheduler: "Scheduler", event: Event) -> None:
+        self._scheduler = scheduler
+        self._event = event
+
+    @property
+    def deadline(self) -> float:
+        """Virtual time at which the callback fires."""
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        """True while the callback has neither fired nor been cancelled."""
+        return not self._event.cancelled and self._event.time >= self._scheduler.now - 1e-9 \
+            and not getattr(self._event, "_fired", False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (no-op if already fired)."""
+        self._event.cancel()
+
+
+class Scheduler:
+    """Discrete-event scheduler with a virtual clock and deterministic RNG."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.clock = VirtualClock()
+        self.queue = EventQueue()
+        self.random = DeterministicRandom(seed)
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ #
+    # Time and scheduling primitives.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    def call_at(self, when: float, callback: Callable[[], None], label: str = "") -> Timer:
+        """Schedule ``callback`` at absolute virtual time ``when``."""
+        if when < self.now - 1e-9:
+            raise SimulationError(
+                f"cannot schedule an event at {when} (now is {self.now})"
+            )
+        event = self.queue.push(max(when, self.now), callback, label)
+        return Timer(self, event)
+
+    def call_after(self, delay: float, callback: Callable[[], None], label: str = "") -> Timer:
+        """Schedule ``callback`` after ``delay`` virtual milliseconds."""
+        if delay < 0:
+            raise SimulationError("delay must be non-negative")
+        return self.call_at(self.now + delay, callback, label)
+
+    # ------------------------------------------------------------------ #
+    # Running the simulation.
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        event._fired = True  # type: ignore[attr-defined]
+        self._events_processed += 1
+        event.callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the event queue drains, ``until`` is reached, or
+        ``max_events`` events have been processed.  Returns the final time."""
+        processed = 0
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.clock.advance_to(until)
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        if until is not None and self.now < until and self.queue.peek_time() is None:
+            self.clock.advance_to(until)
+        return self.now
+
+    def run_until(self, predicate: Callable[[], bool], timeout: float,
+                  description: str = "condition") -> float:
+        """Run until ``predicate()`` becomes true.
+
+        Raises :class:`LivenessTimeoutError` if the predicate is still false
+        when virtual time reaches ``now + timeout`` or the event queue drains.
+        """
+        deadline = self.now + timeout
+        if predicate():
+            return self.now
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > deadline:
+                break
+            self.step()
+            if predicate():
+                return self.now
+        raise LivenessTimeoutError(
+            f"{description} did not hold within {timeout}ms of virtual time "
+            f"(now={self.now:.3f}ms, pending events={len(self.queue)})"
+        )

@@ -1,0 +1,13 @@
+"""Replicated state machine interface and nondeterminism handling."""
+
+from .interface import StateMachine, Operation, OperationResult
+from .nondet import NonDetInput, NonDeterminismResolver, AbstractionLayer
+
+__all__ = [
+    "StateMachine",
+    "Operation",
+    "OperationResult",
+    "NonDetInput",
+    "NonDeterminismResolver",
+    "AbstractionLayer",
+]

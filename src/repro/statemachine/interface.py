@@ -1,0 +1,99 @@
+"""The deterministic state machine contract.
+
+Section 2 of the paper requires replicated applications to behave as
+deterministic state machines with ``checkpoint`` and ``restore`` operations:
+given the same state and the same input, every correct replica transitions to
+the same next state and produces the same reply, and a state produced by
+``checkpoint`` on one correct replica can be ``restore``d on another.
+
+Applications in :mod:`repro.apps` implement :class:`StateMachine`.
+Nondeterministic applications (like NFS timestamps and file handles) wrap a
+deterministic core with the :class:`~repro.statemachine.nondet.AbstractionLayer`,
+which maps the oblivious nondeterminism inputs chosen by the agreement cluster
+into the application-specific values it needs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .nondet import NonDetInput
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A client-visible operation submitted to the replicated service.
+
+    ``kind`` names the operation (e.g. ``"read"``, ``"write"``, ``"null"``),
+    ``args`` carries its arguments, and ``body_size``/``reply_size`` let
+    benchmark applications model payload sizes without shipping real bytes.
+    """
+
+    kind: str
+    args: Dict[str, Any] = field(default_factory=dict)
+    body_size: int = 0
+    reply_size: int = 0
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "args": self.args,
+            "body_size": self.body_size,
+            "reply_size": self.reply_size,
+        }
+
+
+@dataclass(frozen=True)
+class OperationResult:
+    """The reply produced by executing an :class:`Operation`.
+
+    ``value`` is the application-level result; ``size`` models the reply body
+    size on the wire; ``processing_ms`` is the application compute time the
+    executing node must charge to its virtual clock.
+    """
+
+    value: Any
+    size: int = 0
+    processing_ms: float = 0.0
+    error: Optional[str] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "value": self.value,
+            "size": self.size,
+            "error": self.error,
+        }
+
+
+class StateMachine(ABC):
+    """Deterministic application state machine."""
+
+    @abstractmethod
+    def execute(self, operation: Operation, nondet: NonDetInput) -> OperationResult:
+        """Apply ``operation`` and return its result.
+
+        ``nondet`` carries the nondeterminism inputs chosen by the agreement
+        cluster (a timestamp and pseudo-random bits); deterministic
+        applications simply ignore it.  Implementations must be deterministic
+        functions of (current state, operation, nondet).
+        """
+
+    @abstractmethod
+    def checkpoint(self) -> bytes:
+        """Serialize the current state into a byte string."""
+
+    @abstractmethod
+    def restore(self, data: bytes) -> None:
+        """Replace the current state with one produced by :meth:`checkpoint`."""
+
+    def state_digest(self) -> bytes:
+        """Digest of the current state (used in checkpoint certificates)."""
+        from ..crypto.digest import digest
+
+        return digest(self.checkpoint())
+
+    def reset(self) -> None:
+        """Return the machine to its initial state.  Subclasses may override."""
+        raise NotImplementedError(f"{type(self).__name__} does not support reset()")

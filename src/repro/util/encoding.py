@@ -1,0 +1,101 @@
+"""Canonical, deterministic encoding of protocol values.
+
+Digests, MACs, and signatures must be computed over a byte string that every
+correct node derives identically from the same logical message.  Python's
+``repr`` is not stable enough (dict ordering, float formatting), so we provide
+a small canonical encoder covering the value types that appear in protocol
+messages: ``None``, booleans, integers, floats, strings, bytes, and
+(recursively) tuples, lists, dictionaries, dataclass-like objects exposing
+``to_wire()``, and enums.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import Any
+
+_FLOAT_PACK = struct.Struct(">d")
+
+
+def canonical_encode(value: Any) -> bytes:
+    """Encode ``value`` into a deterministic byte string.
+
+    The encoding is injective over the supported value domain (a type tag
+    precedes every value and variable-length items are length-prefixed), so
+    two distinct logical values never encode to the same bytes.
+    """
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def _encode_into(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif isinstance(value, enum.Enum):
+        out += b"e"
+        _encode_into(value.__class__.__name__, out)
+        _encode_into(value.value, out)
+    elif isinstance(value, int):
+        encoded = str(value).encode("ascii")
+        out += b"i"
+        out += len(encoded).to_bytes(4, "big")
+        out += encoded
+    elif isinstance(value, float):
+        out += b"f"
+        out += _FLOAT_PACK.pack(value)
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out += b"s"
+        out += len(encoded).to_bytes(8, "big")
+        out += encoded
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        out += b"b"
+        out += len(data).to_bytes(8, "big")
+        out += data
+    elif isinstance(value, (list, tuple)):
+        out += b"l"
+        out += len(value).to_bytes(8, "big")
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, frozenset) or isinstance(value, set):
+        out += b"z"
+        items = sorted(canonical_encode(item) for item in value)
+        out += len(items).to_bytes(8, "big")
+        for item in items:
+            out += len(item).to_bytes(8, "big")
+            out += item
+    elif isinstance(value, dict):
+        out += b"d"
+        items = sorted(
+            (canonical_encode(k), canonical_encode(v)) for k, v in value.items()
+        )
+        out += len(items).to_bytes(8, "big")
+        for key_bytes, value_bytes in items:
+            out += len(key_bytes).to_bytes(8, "big")
+            out += key_bytes
+            out += len(value_bytes).to_bytes(8, "big")
+            out += value_bytes
+    elif hasattr(value, "to_wire"):
+        out += b"w"
+        _encode_into(type(value).__name__, out)
+        _encode_into(value.to_wire(), out)
+    else:
+        raise TypeError(
+            f"canonical_encode does not support values of type {type(value).__name__}"
+        )
+
+
+def estimate_size(value: Any) -> int:
+    """Estimate the wire size of ``value`` in bytes.
+
+    Used by the network model to charge transmission time.  The canonical
+    encoding length is a good proxy for a real serialisation format.
+    """
+    return len(canonical_encode(value))

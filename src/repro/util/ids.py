@@ -1,0 +1,128 @@
+"""Node identifiers.
+
+Every participant in the system -- clients, agreement replicas, execution
+replicas, privacy-firewall filters, and the standalone unreplicated server
+used as a baseline -- is identified by a :class:`NodeId`, a small immutable
+value object that encodes the node's role and its index within its cluster.
+
+Privacy-firewall filters additionally carry their row in the filter array
+(row 0 is adjacent to the agreement cluster, the top row is adjacent to the
+execution cluster); the index is the column within the row.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Role(enum.Enum):
+    """Functional role of a node in the deployment."""
+
+    CLIENT = "client"
+    AGREEMENT = "agreement"
+    EXECUTION = "execution"
+    FIREWALL = "firewall"
+    SERVER = "server"  # unreplicated baseline server
+
+    def short(self) -> str:
+        return {
+            Role.CLIENT: "C",
+            Role.AGREEMENT: "A",
+            Role.EXECUTION: "E",
+            Role.FIREWALL: "F",
+            Role.SERVER: "S",
+        }[self]
+
+
+@dataclass(frozen=True)
+class NodeId:
+    """Immutable identifier for a protocol participant.
+
+    The ordering (role, row, index) is arbitrary but total, which lets node
+    ids be used as dictionary keys and sorted deterministically -- important
+    for reproducible simulations.
+    """
+
+    role: Role
+    index: int
+    row: Optional[int] = None
+
+    def _sort_key(self) -> tuple:
+        return (self.role.value, -1 if self.row is None else self.row, self.index)
+
+    def __lt__(self, other: "NodeId") -> bool:
+        if not isinstance(other, NodeId):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def __le__(self, other: "NodeId") -> bool:
+        if not isinstance(other, NodeId):
+            return NotImplemented
+        return self._sort_key() <= other._sort_key()
+
+    def __gt__(self, other: "NodeId") -> bool:
+        if not isinstance(other, NodeId):
+            return NotImplemented
+        return self._sort_key() > other._sort_key()
+
+    def __ge__(self, other: "NodeId") -> bool:
+        if not isinstance(other, NodeId):
+            return NotImplemented
+        return self._sort_key() >= other._sort_key()
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("node index must be non-negative")
+        if self.role is Role.FIREWALL and self.row is None:
+            raise ValueError("firewall nodes must specify a row")
+        if self.role is not Role.FIREWALL and self.row is not None:
+            raise ValueError("only firewall nodes carry a row")
+
+    @property
+    def name(self) -> str:
+        """Human-readable name, e.g. ``A0``, ``E2``, ``F1.0``, ``C3``."""
+        if self.role is Role.FIREWALL:
+            return f"{self.role.short()}{self.row}.{self.index}"
+        return f"{self.role.short()}{self.index}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"NodeId({self.name})"
+
+
+def make_node_id(role: Role, index: int, row: Optional[int] = None) -> NodeId:
+    """Convenience factory mirroring the :class:`NodeId` constructor."""
+    return NodeId(role=role, index=index, row=row)
+
+
+def agreement_id(index: int) -> NodeId:
+    """Identifier of agreement replica ``index``."""
+    return NodeId(Role.AGREEMENT, index)
+
+
+def execution_id(index: int) -> NodeId:
+    """Identifier of execution replica ``index``."""
+    return NodeId(Role.EXECUTION, index)
+
+
+def client_id(index: int) -> NodeId:
+    """Identifier of client ``index``."""
+    return NodeId(Role.CLIENT, index)
+
+
+def firewall_id(row: int, column: int) -> NodeId:
+    """Identifier of the privacy-firewall filter at ``(row, column)``.
+
+    Row 0 is the bottom row (adjacent to, and possibly co-located with, the
+    agreement cluster); the highest row is adjacent to the execution cluster.
+    """
+    return NodeId(Role.FIREWALL, column, row=row)
+
+
+def server_id(index: int = 0) -> NodeId:
+    """Identifier of the unreplicated baseline server."""
+    return NodeId(Role.SERVER, index)

@@ -1,0 +1,24 @@
+"""Workload generators for the paper's evaluation.
+
+* :mod:`repro.workloads.microbenchmark` -- the null-server latency benchmark
+  (Figure 3) with configurable request/reply sizes.
+* :mod:`repro.workloads.open_loop` -- the open-loop load generator used for
+  the throughput/bundling experiment (Figure 5).
+* :mod:`repro.workloads.andrew` -- the modified Andrew benchmark phases run
+  against the NFS service (Figures 6 and 7).
+"""
+
+from .microbenchmark import LatencyResult, run_latency_benchmark
+from .open_loop import OpenLoopResult, run_open_loop
+from .andrew import AndrewResult, AndrewScale, andrew_phase_operations, run_andrew
+
+__all__ = [
+    "LatencyResult",
+    "run_latency_benchmark",
+    "OpenLoopResult",
+    "run_open_loop",
+    "AndrewResult",
+    "AndrewScale",
+    "andrew_phase_operations",
+    "run_andrew",
+]

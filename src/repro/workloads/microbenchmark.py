@@ -1,0 +1,70 @@
+"""Null-server latency microbenchmark (Figure 3 of the paper).
+
+The benchmark issues a sequence of null-server requests with a given
+request/reply size from a single closed-loop client and reports the mean and
+percentile latencies.  The paper runs 10 rounds of 200 requests for each of
+three size combinations (40/40, 40/4096, 4096/40 bytes) and five system
+configurations; :func:`run_latency_benchmark` reproduces one cell of that
+matrix and the benchmark harness sweeps the rest.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..apps.null_service import NullService, null_operation
+from ..core.system import SimulatedSystem
+
+
+@dataclass(frozen=True)
+class LatencyResult:
+    """Latency statistics for one benchmark configuration."""
+
+    label: str
+    request_bytes: int
+    reply_bytes: int
+    samples: int
+    mean_ms: float
+    median_ms: float
+    p95_ms: float
+    min_ms: float
+    max_ms: float
+
+    def row(self) -> str:
+        """One formatted table row (used by the benchmark harness output)."""
+        return (f"{self.label:<28} {self.request_bytes:>6}/{self.reply_bytes:<6} "
+                f"{self.mean_ms:>8.2f} {self.median_ms:>8.2f} {self.p95_ms:>8.2f}")
+
+
+def run_latency_benchmark(system: SimulatedSystem, *, label: str,
+                          request_bytes: int = 40, reply_bytes: int = 40,
+                          requests: int = 50, warmup: int = 5,
+                          client_index: int = 0,
+                          timeout_ms: float = 120_000.0) -> LatencyResult:
+    """Run the null-server latency benchmark against an assembled system.
+
+    ``warmup`` requests are issued and discarded first so that one-time setup
+    effects (initial view, first checkpoint) do not skew the statistics.
+    """
+    for i in range(warmup):
+        system.invoke(null_operation(request_bytes, reply_bytes, tag=-(i + 1)),
+                      client_index=client_index, timeout_ms=timeout_ms)
+    latencies: List[float] = []
+    for i in range(requests):
+        record = system.invoke(null_operation(request_bytes, reply_bytes, tag=i),
+                               client_index=client_index, timeout_ms=timeout_ms)
+        latencies.append(record.latency_ms)
+    latencies.sort()
+    return LatencyResult(
+        label=label,
+        request_bytes=request_bytes,
+        reply_bytes=reply_bytes,
+        samples=len(latencies),
+        mean_ms=statistics.fmean(latencies),
+        median_ms=statistics.median(latencies),
+        p95_ms=latencies[min(len(latencies) - 1, int(0.95 * len(latencies)))],
+        min_ms=latencies[0],
+        max_ms=latencies[-1],
+    )

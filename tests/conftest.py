@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite.
+
+Tests use small fault thresholds (f = g = h = 1), a perfectly reliable
+low-latency network unless a test explicitly injects faults, and short
+timers so that liveness scenarios resolve quickly in virtual time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    AuthenticationScheme,
+    CryptoCosts,
+    NetworkConfig,
+    SystemConfig,
+    TimerConfig,
+)
+from repro.crypto.keys import Keystore
+from repro.sim.scheduler import Scheduler
+from repro.util.ids import agreement_id, client_id, execution_id
+
+
+FAST_TIMERS = TimerConfig(client_retransmit_ms=80.0, agreement_retransmit_ms=40.0,
+                          execution_fetch_ms=20.0, view_change_ms=200.0,
+                          batch_timeout_ms=1.0)
+
+#: cheap crypto so protocol-heavy tests stay fast in virtual time
+CHEAP_CRYPTO = CryptoCosts(mac_ms=0.05, signature_sign_ms=0.5, signature_verify_ms=0.1,
+                           threshold_share_ms=1.0, threshold_combine_ms=0.2,
+                           threshold_verify_ms=0.1)
+
+
+def make_config(**overrides) -> SystemConfig:
+    """A small, fast configuration for integration tests."""
+    defaults = dict(
+        f=1, g=1, h=1, num_clients=2, pipeline_depth=16, checkpoint_interval=8,
+        bundle_size=1, timers=FAST_TIMERS, crypto=CHEAP_CRYPTO,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    return make_config()
+
+
+@pytest.fixture
+def threshold_config() -> SystemConfig:
+    return make_config(authentication=AuthenticationScheme.THRESHOLD)
+
+
+@pytest.fixture
+def firewall_config() -> SystemConfig:
+    return make_config(authentication=AuthenticationScheme.THRESHOLD,
+                       use_privacy_firewall=True)
+
+
+@pytest.fixture
+def scheduler() -> Scheduler:
+    return Scheduler(seed=7)
+
+
+@pytest.fixture
+def keystore() -> Keystore:
+    return Keystore()
+
+
+@pytest.fixture
+def node_ids():
+    """A small universe of node ids used by crypto/message unit tests."""
+    return {
+        "clients": [client_id(i) for i in range(2)],
+        "agreement": [agreement_id(i) for i in range(4)],
+        "execution": [execution_id(i) for i in range(3)],
+    }

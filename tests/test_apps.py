@@ -1,0 +1,247 @@
+"""Tests for the replicated applications (null server, counter, KV store, NFS)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.counter import CounterService, increment, read_counter
+from repro.apps.kvstore import (
+    KeyValueStore,
+    compare_and_swap,
+    delete,
+    get,
+    list_keys,
+    put,
+)
+from repro.apps.nfs import (
+    NfsService,
+    nfs_create,
+    nfs_getattr,
+    nfs_lookup,
+    nfs_mkdir,
+    nfs_read,
+    nfs_readdir,
+    nfs_remove,
+    nfs_rename,
+    nfs_rmdir,
+    nfs_write,
+)
+from repro.apps.null_service import NullService, null_operation
+from repro.statemachine.nondet import NonDetInput
+
+NONDET = NonDetInput(timestamp_ms=1234.0, random_bits=b"\x05" * 16)
+OTHER_NONDET = NonDetInput(timestamp_ms=99.0, random_bits=b"\x09" * 16)
+
+
+class TestNullService:
+    def test_counts_executions(self):
+        service = NullService()
+        for i in range(3):
+            result = service.execute(null_operation(tag=i), NONDET)
+            assert result.value["count"] == i + 1
+
+    def test_reply_size_modelled(self):
+        service = NullService()
+        result = service.execute(null_operation(reply_bytes=4096), NONDET)
+        assert result.size == 4096
+
+    def test_unknown_operation_is_an_error(self):
+        service = NullService()
+        result = service.execute(increment(), NONDET)
+        assert result.error is not None
+
+    def test_checkpoint_restore(self):
+        service = NullService()
+        service.execute(null_operation(), NONDET)
+        data = service.checkpoint()
+        other = NullService()
+        other.restore(data)
+        assert other.executed == 1
+
+
+class TestCounterService:
+    def test_increment_and_read(self):
+        service = CounterService()
+        assert service.execute(increment(2), NONDET).value == 2
+        assert service.execute(increment(3), NONDET).value == 5
+        assert service.execute(read_counter(), NONDET).value == 5
+
+    def test_checkpoint_restore_roundtrip(self):
+        service = CounterService()
+        service.execute(increment(7), NONDET)
+        restored = CounterService()
+        restored.restore(service.checkpoint())
+        assert restored.value == 7
+        assert restored.operations_applied == 1
+
+    def test_determinism_across_replicas(self):
+        a, b = CounterService(), CounterService()
+        operations = [increment(i) for i in range(10)]
+        for operation in operations:
+            assert a.execute(operation, NONDET).value == b.execute(operation, NONDET).value
+        assert a.checkpoint() == b.checkpoint()
+
+
+class TestKeyValueStore:
+    def test_put_get_delete(self):
+        store = KeyValueStore()
+        store.execute(put("k", "v"), NONDET)
+        assert store.execute(get("k"), NONDET).value == {"value": "v", "found": True}
+        assert store.execute(delete("k"), NONDET).value == {"deleted": True}
+        assert store.execute(get("k"), NONDET).value == {"value": None, "found": False}
+
+    def test_cas_semantics(self):
+        store = KeyValueStore()
+        store.execute(put("k", 1), NONDET)
+        assert store.execute(compare_and_swap("k", 1, 2), NONDET).value["swapped"]
+        assert not store.execute(compare_and_swap("k", 1, 3), NONDET).value["swapped"]
+        assert store.execute(get("k"), NONDET).value["value"] == 2
+
+    def test_list_keys_prefix(self):
+        store = KeyValueStore()
+        for key in ("a/1", "a/2", "b/1"):
+            store.execute(put(key, key), NONDET)
+        assert store.execute(list_keys("a/"), NONDET).value["keys"] == ["a/1", "a/2"]
+
+    def test_checkpoint_restore(self):
+        store = KeyValueStore()
+        store.execute(put("k", [1, 2, 3]), NONDET)
+        restored = KeyValueStore()
+        restored.restore(store.checkpoint())
+        assert restored.snapshot() == {"k": [1, 2, 3]}
+
+    @given(st.lists(st.tuples(st.sampled_from(["put", "get", "delete"]),
+                              st.sampled_from(["a", "b", "c"]),
+                              st.integers(min_value=0, max_value=5)),
+                    max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_python_dict_model(self, script):
+        """Property: the replicated KV store behaves exactly like a dict."""
+        store = KeyValueStore()
+        model = {}
+        for kind, key, value in script:
+            if kind == "put":
+                store.execute(put(key, value), NONDET)
+                model[key] = value
+            elif kind == "get":
+                result = store.execute(get(key), NONDET).value
+                assert result["value"] == model.get(key)
+                assert result["found"] == (key in model)
+            else:
+                result = store.execute(delete(key), NONDET).value
+                assert result["deleted"] == (key in model)
+                model.pop(key, None)
+        assert store.snapshot() == model
+
+    @given(st.lists(st.tuples(st.sampled_from(["put", "delete", "cas"]),
+                              st.sampled_from(["x", "y"]),
+                              st.integers(min_value=0, max_value=3)),
+                    max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_replicas_stay_identical(self, script):
+        """Property: two replicas applying the same operations in the same
+        order produce identical checkpoints (determinism)."""
+        a, b = KeyValueStore(), KeyValueStore()
+        for kind, key, value in script:
+            if kind == "put":
+                operation = put(key, value)
+            elif kind == "delete":
+                operation = delete(key)
+            else:
+                operation = compare_and_swap(key, value, value + 1)
+            a.execute(operation, NONDET)
+            b.execute(operation, NONDET)
+        assert a.checkpoint() == b.checkpoint()
+
+
+class TestNfsService:
+    def test_mkdir_create_write_read(self):
+        fs = NfsService()
+        assert fs.execute(nfs_mkdir("/src"), NONDET).error is None
+        assert fs.execute(nfs_create("/src/a.c"), NONDET).error is None
+        write = fs.execute(nfs_write("/src/a.c", 0, 100, data="hello"), NONDET)
+        assert write.value["size"] == 100
+        read = fs.execute(nfs_read("/src/a.c", 0, 100), NONDET)
+        assert read.value["data"].startswith("hello")
+        assert read.value["bytes"] == 100
+
+    def test_lookup_and_getattr(self):
+        fs = NfsService()
+        fs.execute(nfs_mkdir("/d"), NONDET)
+        attrs = fs.execute(nfs_getattr("/d"), NONDET).value["attributes"]
+        assert attrs["type"] == "dir"
+        assert fs.execute(nfs_lookup("/missing"), NONDET).error is not None
+
+    def test_readdir_sorted(self):
+        fs = NfsService()
+        fs.execute(nfs_mkdir("/d"), NONDET)
+        for name in ("c", "a", "b"):
+            fs.execute(nfs_create(f"/d/{name}"), NONDET)
+        assert fs.execute(nfs_readdir("/d"), NONDET).value["entries"] == ["a", "b", "c"]
+
+    def test_remove_and_rmdir(self):
+        fs = NfsService()
+        fs.execute(nfs_mkdir("/d"), NONDET)
+        fs.execute(nfs_create("/d/f"), NONDET)
+        assert fs.execute(nfs_rmdir("/d"), NONDET).error is not None  # not empty
+        fs.execute(nfs_remove("/d/f"), NONDET)
+        assert fs.execute(nfs_rmdir("/d"), NONDET).error is None
+        assert not fs.exists("/d")
+
+    def test_rename_moves_subtree(self):
+        fs = NfsService()
+        fs.execute(nfs_mkdir("/old"), NONDET)
+        fs.execute(nfs_create("/old/f"), NONDET)
+        assert fs.execute(nfs_rename("/old", "/new"), NONDET).error is None
+        assert fs.exists("/new/f")
+        assert not fs.exists("/old")
+
+    def test_create_requires_parent(self):
+        fs = NfsService()
+        assert fs.execute(nfs_create("/missing/f"), NONDET).error is not None
+
+    def test_duplicate_create_is_error(self):
+        fs = NfsService()
+        fs.execute(nfs_create("/f"), NONDET)
+        assert fs.execute(nfs_create("/f"), NONDET).error is not None
+
+    def test_file_handles_come_from_agreed_nondeterminism(self):
+        """Replicas given the same nondet inputs derive identical handles and
+        timestamps; different inputs give different handles (the values are
+        genuinely driven by the agreement cluster's choice)."""
+        a, b, c = NfsService(), NfsService(), NfsService()
+        a.execute(nfs_create("/f"), NONDET)
+        b.execute(nfs_create("/f"), NONDET)
+        c.execute(nfs_create("/f"), OTHER_NONDET)
+        handle_a = a.execute(nfs_getattr("/f"), NONDET).value["attributes"]["handle"]
+        handle_b = b.execute(nfs_getattr("/f"), NONDET).value["attributes"]["handle"]
+        handle_c = c.execute(nfs_getattr("/f"), OTHER_NONDET).value["attributes"]["handle"]
+        assert handle_a == handle_b
+        assert handle_a != handle_c
+
+    def test_timestamps_follow_agreed_clock(self):
+        fs = NfsService()
+        fs.execute(nfs_create("/f"), NONDET)
+        attrs = fs.execute(nfs_getattr("/f"), NONDET).value["attributes"]
+        assert attrs["mtime_ms"] == NONDET.timestamp_ms
+
+    def test_checkpoint_restore_preserves_tree(self):
+        fs = NfsService()
+        fs.execute(nfs_mkdir("/d"), NONDET)
+        fs.execute(nfs_create("/d/f"), NONDET)
+        fs.execute(nfs_write("/d/f", 0, 64, data="abc"), NONDET)
+        restored = NfsService()
+        restored.restore(fs.checkpoint())
+        assert restored.tree() == fs.tree()
+        assert restored.execute(nfs_read("/d/f", 0, 64), NONDET).value["data"] == \
+            fs.execute(nfs_read("/d/f", 0, 64), NONDET).value["data"]
+
+    def test_replica_determinism_over_operation_sequence(self):
+        operations = [nfs_mkdir("/p"), nfs_create("/p/a"), nfs_write("/p/a", 0, 32, data="x"),
+                      nfs_read("/p/a"), nfs_create("/p/b"), nfs_remove("/p/a"),
+                      nfs_readdir("/p")]
+        a, b = NfsService(), NfsService()
+        for operation in operations:
+            ra = a.execute(operation, NONDET)
+            rb = b.execute(operation, NONDET)
+            assert ra.value == rb.value
+        assert a.checkpoint() == b.checkpoint()

@@ -1,0 +1,108 @@
+"""Checkpointing, garbage collection, and state-transfer tests (Section 3.3)."""
+
+import pytest
+
+from conftest import make_config
+from repro.apps.counter import CounterService, increment, read_counter
+from repro.apps.kvstore import KeyValueStore, get, put
+from repro.core import SeparatedSystem
+
+
+class TestExecutionCheckpoints:
+    def test_checkpoints_become_stable(self):
+        config = make_config(checkpoint_interval=4)
+        system = SeparatedSystem(config, CounterService, seed=51)
+        for _ in range(9):
+            system.invoke(increment(1))
+        system.run(100.0)
+        for node in system.execution_nodes:
+            assert node.stable_checkpoint is not None
+            assert node.stable_checkpoint.seq >= 4
+            assert node.stable_checkpoint.proof is not None
+            # Proof of stability carries at least g + 1 = 2 authenticators.
+            assert node.stable_checkpoint.proof.count() >= config.checkpoint_quorum
+
+    def test_garbage_collection_bounds_state(self):
+        config = make_config(checkpoint_interval=4, pipeline_depth=4)
+        system = SeparatedSystem(config, CounterService, seed=52)
+        for _ in range(20):
+            system.invoke(increment(1))
+        system.run(200.0)
+        for node in system.execution_nodes:
+            stable = node.stable_checkpoint.seq
+            assert all(seq >= stable for seq in node.checkpoints)
+            assert all(seq > stable for seq in node.pending)
+            # The per-sequence reply cache is trimmed to a bounded window.
+            assert len(node.replies_by_seq) <= 2 * config.pipeline_depth + 1
+
+    def test_checkpoint_digests_match_across_replicas(self):
+        config = make_config(checkpoint_interval=4)
+        system = SeparatedSystem(config, KeyValueStore, seed=53)
+        for i in range(8):
+            system.invoke(put(f"k{i}", i))
+        system.run(200.0)
+        digests = {node.stable_checkpoint.seq: set() for node in system.execution_nodes}
+        for node in system.execution_nodes:
+            digests[node.stable_checkpoint.seq].add(node.stable_checkpoint.digest)
+        for seq, values in digests.items():
+            assert len(values) == 1
+
+    def test_agreement_log_garbage_collection(self):
+        config = make_config(checkpoint_interval=4)
+        system = SeparatedSystem(config, CounterService, seed=54)
+        for _ in range(12):
+            system.invoke(increment(1))
+        system.run(200.0)
+        for replica in system.agreement_replicas:
+            assert replica.log.stable_seq >= 4
+            assert replica.log.size() <= 2 * config.checkpoint_interval + 4
+
+
+class TestStateTransfer:
+    def test_crashed_and_recovered_node_catches_up(self):
+        """A node that misses a stretch of requests recovers from a peer's
+        stable checkpoint (or fetches the missing batches) and converges."""
+        config = make_config(checkpoint_interval=4)
+        system = SeparatedSystem(config, CounterService, seed=55)
+        system.invoke(increment(1))
+        # Take one execution replica down for a while.
+        lagging = system.execution_nodes[0]
+        lagging.crash()
+        for _ in range(10):
+            system.invoke(increment(1))
+        lagging.recover()
+        # More traffic plus time for fetch/state-transfer to complete.
+        for _ in range(6):
+            system.invoke(increment(1))
+        system.run_until(
+            lambda: lagging.max_executed >= system.execution_nodes[1].max_executed - 1,
+            timeout_ms=30_000.0, description="lagging replica catches up")
+        assert lagging.app.checkpoint() == system.execution_nodes[1].app.checkpoint()
+
+    def test_recovered_node_participates_in_new_requests(self):
+        config = make_config(checkpoint_interval=4)
+        system = SeparatedSystem(config, CounterService, seed=56)
+        lagging = system.execution_nodes[2]
+        lagging.crash()
+        for _ in range(8):
+            system.invoke(increment(1))
+        lagging.recover()
+        for _ in range(8):
+            system.invoke(increment(1))
+        final = system.invoke(read_counter())
+        assert final.result.value == 16
+        system.run(200.0)
+        assert lagging.max_executed > 8
+
+    def test_exactly_once_across_recovery(self):
+        """Re-executing after recovery must not double-apply operations."""
+        config = make_config(checkpoint_interval=4)
+        system = SeparatedSystem(config, CounterService, seed=57)
+        lagging = system.execution_nodes[1]
+        lagging.crash()
+        for _ in range(6):
+            system.invoke(increment(1))
+        lagging.recover()
+        system.invoke(increment(1))
+        final = system.invoke(read_counter())
+        assert final.result.value == 7

@@ -1,0 +1,284 @@
+"""Tests for the cryptographic substrate: digests, keys, MACs, signatures,
+threshold signatures, and authentication certificates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import AuthenticationScheme, CryptoCosts
+from repro.crypto.certificate import Certificate
+from repro.crypto.digest import combine_digests, digest, digest_hex
+from repro.crypto.keys import Keystore
+from repro.crypto.provider import CryptoProvider
+from repro.errors import CertificateError, CryptoError, UnknownKeyError, VerificationError
+from repro.messages.request import ClientRequest
+from repro.statemachine.interface import Operation
+from repro.util.ids import agreement_id, client_id, execution_id
+
+
+@pytest.fixture
+def keystore():
+    return Keystore()
+
+
+def provider(keystore, node):
+    return CryptoProvider(node, keystore)
+
+
+def sample_request(tag=0):
+    return ClientRequest(operation=Operation(kind="null", args={"tag": tag}),
+                         timestamp=1, client=client_id(0))
+
+
+class TestDigest:
+    def test_fixed_length(self):
+        assert len(digest(b"hello")) == 32
+        assert len(digest({"a": 1})) == 32
+
+    def test_deterministic_and_distinct(self):
+        assert digest({"a": 1}) == digest({"a": 1})
+        assert digest({"a": 1}) != digest({"a": 2})
+
+    def test_hex_form(self):
+        assert digest_hex(b"x") == digest(b"x").hex()
+
+    def test_combine_digests_order_sensitive(self):
+        a, b = digest(b"a"), digest(b"b")
+        assert combine_digests(a, b) != combine_digests(b, a)
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_collision_free_on_samples(self, x, y):
+        if x != y:
+            assert digest(x) != digest(y)
+
+
+class TestKeystore:
+    def test_register_is_idempotent(self, keystore):
+        node = client_id(0)
+        keystore.register_node(node)
+        key1 = keystore.private_key(node)
+        keystore.register_node(node)
+        assert keystore.private_key(node) == key1
+
+    def test_unknown_key_raises(self, keystore):
+        with pytest.raises(UnknownKeyError):
+            keystore.private_key(client_id(9))
+
+    def test_distinct_nodes_have_distinct_keys(self, keystore):
+        keystore.register_node(client_id(0))
+        keystore.register_node(client_id(1))
+        assert keystore.private_key(client_id(0)) != keystore.private_key(client_id(1))
+
+    def test_pair_secret_symmetric(self, keystore):
+        a, b = client_id(0), agreement_id(1)
+        keystore.register_node(a)
+        keystore.register_node(b)
+        assert keystore.pair_secret(a, b) == keystore.pair_secret(b, a)
+
+    def test_pair_secret_distinct_pairs(self, keystore):
+        nodes = [client_id(0), agreement_id(0), agreement_id(1)]
+        for node in nodes:
+            keystore.register_node(node)
+        assert keystore.pair_secret(nodes[0], nodes[1]) != keystore.pair_secret(nodes[0], nodes[2])
+
+    def test_threshold_group_creation(self, keystore):
+        members = [execution_id(i) for i in range(3)]
+        group = keystore.create_threshold_group("g", members, 2)
+        assert group.threshold == 2
+        assert set(group.members) == set(members)
+        assert keystore.create_threshold_group("g", members, 2) is group
+
+    def test_threshold_group_conflicting_parameters_rejected(self, keystore):
+        members = [execution_id(i) for i in range(3)]
+        keystore.create_threshold_group("g", members, 2)
+        with pytest.raises(CryptoError):
+            keystore.create_threshold_group("g", members, 3)
+
+    def test_threshold_bounds_validated(self, keystore):
+        members = [execution_id(i) for i in range(3)]
+        with pytest.raises(CryptoError):
+            keystore.create_threshold_group("bad", members, 0)
+        with pytest.raises(CryptoError):
+            keystore.create_threshold_group("bad", members, 4)
+
+    def test_share_key_only_for_members(self, keystore):
+        group = keystore.create_threshold_group("g", [execution_id(0), execution_id(1)], 2)
+        with pytest.raises(UnknownKeyError):
+            group.share_key(execution_id(2))
+
+
+class TestMacAuthenticators:
+    def test_round_trip(self, keystore):
+        signer = provider(keystore, client_id(0))
+        verifier = provider(keystore, agreement_id(0))
+        request = sample_request()
+        auth = signer.mac_authenticator(request, [agreement_id(0), agreement_id(1)])
+        assert verifier.verify_mac(request, auth)
+
+    def test_wrong_payload_fails(self, keystore):
+        signer = provider(keystore, client_id(0))
+        verifier = provider(keystore, agreement_id(0))
+        auth = signer.mac_authenticator(sample_request(0), [agreement_id(0)])
+        assert not verifier.verify_mac(sample_request(1), auth)
+
+    def test_unaddressed_destination_fails(self, keystore):
+        signer = provider(keystore, client_id(0))
+        other = provider(keystore, agreement_id(3))
+        auth = signer.mac_authenticator(sample_request(), [agreement_id(0)])
+        assert not other.verify_mac(sample_request(), auth)
+
+
+class TestSignatures:
+    def test_round_trip(self, keystore):
+        signer = provider(keystore, execution_id(0))
+        verifier = provider(keystore, client_id(0))
+        request = sample_request()
+        auth = signer.sign(request)
+        assert verifier.verify_signature(request, auth)
+
+    def test_tampered_payload_fails(self, keystore):
+        signer = provider(keystore, execution_id(0))
+        verifier = provider(keystore, client_id(0))
+        auth = signer.sign(sample_request(0))
+        assert not verifier.verify_signature(sample_request(1), auth)
+
+
+class TestThresholdSignatures:
+    def _group(self, keystore, threshold=2, size=3):
+        members = [execution_id(i) for i in range(size)]
+        keystore.create_threshold_group("exec", members, threshold)
+        return members
+
+    def test_combine_with_quorum(self, keystore):
+        members = self._group(keystore)
+        request = sample_request()
+        shares = [provider(keystore, m).threshold_share(request, "exec")
+                  for m in members[:2]]
+        combiner = provider(keystore, agreement_id(0))
+        signature = combiner.threshold_combine(request, "exec", shares)
+        assert provider(keystore, client_id(0)).verify_threshold_signature(
+            request, signature, "exec")
+
+    def test_combine_without_quorum_fails(self, keystore):
+        members = self._group(keystore)
+        request = sample_request()
+        shares = [provider(keystore, members[0]).threshold_share(request, "exec")]
+        with pytest.raises(VerificationError):
+            provider(keystore, agreement_id(0)).threshold_combine(request, "exec", shares)
+
+    def test_duplicate_shares_do_not_count_twice(self, keystore):
+        members = self._group(keystore)
+        request = sample_request()
+        share = provider(keystore, members[0]).threshold_share(request, "exec")
+        with pytest.raises(VerificationError):
+            provider(keystore, agreement_id(0)).threshold_combine(
+                request, "exec", [share, share])
+
+    def test_combined_value_independent_of_share_subset(self, keystore):
+        """The paper relies on threshold signatures being deterministic so the
+        certificate encoding cannot leak which replicas contributed."""
+        members = self._group(keystore, threshold=2, size=3)
+        request = sample_request()
+        combiner = provider(keystore, agreement_id(0))
+        shares_a = [provider(keystore, m).threshold_share(request, "exec")
+                    for m in members[:2]]
+        shares_b = [provider(keystore, m).threshold_share(request, "exec")
+                    for m in members[1:]]
+        assert combiner.threshold_combine(request, "exec", shares_a) == \
+            combiner.threshold_combine(request, "exec", shares_b)
+
+    def test_share_from_non_member_rejected(self, keystore):
+        self._group(keystore)
+        request = sample_request()
+        outsider = provider(keystore, agreement_id(0))
+        with pytest.raises(UnknownKeyError):
+            outsider.threshold_share(request, "exec")
+
+    def test_wrong_payload_signature_fails(self, keystore):
+        members = self._group(keystore)
+        combiner = provider(keystore, agreement_id(0))
+        shares = [provider(keystore, m).threshold_share(sample_request(0), "exec")
+                  for m in members[:2]]
+        signature = combiner.threshold_combine(sample_request(0), "exec", shares)
+        assert not combiner.verify_threshold_signature(sample_request(1), signature, "exec")
+
+
+class TestCertificates:
+    def test_mac_certificate_quorum(self, keystore):
+        execs = [execution_id(i) for i in range(3)]
+        request = sample_request()
+        cert = Certificate(payload=request, scheme=AuthenticationScheme.MAC)
+        for node in execs[:2]:
+            provider(keystore, node).authenticate(cert, [client_id(0)])
+        client = provider(keystore, client_id(0))
+        assert client.verify_certificate(cert, 2, execs)
+        assert not client.verify_certificate(cert, 3, execs)
+
+    def test_signers_outside_universe_do_not_count(self, keystore):
+        request = sample_request()
+        cert = Certificate(payload=request, scheme=AuthenticationScheme.MAC)
+        provider(keystore, agreement_id(0)).authenticate(cert, [client_id(0)])
+        provider(keystore, execution_id(0)).authenticate(cert, [client_id(0)])
+        client = provider(keystore, client_id(0))
+        assert not client.verify_certificate(cert, 2, [execution_id(i) for i in range(3)])
+
+    def test_duplicate_signer_counts_once(self, keystore):
+        request = sample_request()
+        cert = Certificate(payload=request, scheme=AuthenticationScheme.MAC)
+        signer = provider(keystore, execution_id(0))
+        signer.authenticate(cert, [client_id(0)])
+        signer.authenticate(cert, [client_id(0)])
+        assert cert.count() == 1
+
+    def test_scheme_mismatch_rejected(self, keystore):
+        request = sample_request()
+        cert = Certificate(payload=request, scheme=AuthenticationScheme.MAC)
+        auth = provider(keystore, execution_id(0)).sign(request)
+        with pytest.raises(CertificateError):
+            cert.add(auth)
+
+    def test_merge_accumulates_signers(self, keystore):
+        request = sample_request()
+        cert_a = Certificate(payload=request, scheme=AuthenticationScheme.MAC)
+        cert_b = Certificate(payload=request, scheme=AuthenticationScheme.MAC)
+        provider(keystore, execution_id(0)).authenticate(cert_a, [client_id(0)])
+        provider(keystore, execution_id(1)).authenticate(cert_b, [client_id(0)])
+        cert_a.merge(cert_b)
+        assert cert_a.count() == 2
+
+    def test_require_certificate_raises(self, keystore):
+        request = sample_request()
+        cert = Certificate(payload=request, scheme=AuthenticationScheme.MAC)
+        client = provider(keystore, client_id(0))
+        with pytest.raises(VerificationError):
+            client.require_certificate(cert, 1, [execution_id(0)])
+
+    def test_threshold_certificate_with_signature_verifies(self, keystore):
+        members = [execution_id(i) for i in range(3)]
+        keystore.create_threshold_group("exec", members, 2)
+        request = sample_request()
+        cert = Certificate(payload=request, scheme=AuthenticationScheme.THRESHOLD,
+                           threshold_group="exec")
+        shares = [provider(keystore, m).threshold_share(request, "exec") for m in members[:2]]
+        for share in shares:
+            cert.add(share)
+        combiner = provider(keystore, agreement_id(0))
+        cert.threshold_signature = combiner.threshold_combine(request, "exec", shares)
+        assert provider(keystore, client_id(1)).verify_certificate(cert, 2)
+
+
+class TestCostAccounting:
+    def test_operations_charge_costs(self, keystore):
+        charges = []
+        ops = []
+        prov = CryptoProvider(execution_id(0), keystore, CryptoCosts(),
+                              charge=charges.append, record=ops.append)
+        members = [execution_id(i) for i in range(3)]
+        keystore.create_threshold_group("exec", members, 2)
+        request = sample_request()
+        prov.mac_authenticator(request, [client_id(0)])
+        prov.threshold_share(request, "exec")
+        assert "mac_sign" in ops
+        assert "threshold_share" in ops
+        # The threshold share must be the dominant cost (15 ms by default).
+        assert max(charges) == pytest.approx(15.0)

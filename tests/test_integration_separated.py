@@ -1,0 +1,183 @@
+"""End-to-end integration tests of the separated architecture.
+
+These tests drive complete simulated deployments (agreement cluster, message
+queues, execution cluster, optional privacy firewall, clients) and check the
+paper's safety properties: replies reflect a single linearizable execution
+order, retransmissions are answered exactly once, replicas never diverge, and
+all five evaluation configurations work.
+"""
+
+import pytest
+
+from conftest import make_config
+from repro.apps.counter import CounterService, increment, read_counter
+from repro.apps.kvstore import KeyValueStore, get, put
+from repro.apps.null_service import NullService, null_operation
+from repro.config import AuthenticationScheme, Deployment, SystemConfig
+from repro.core import CoupledSystem, SeparatedSystem, UnreplicatedSystem
+from repro.statemachine.nondet import NonDetInput
+
+
+def all_system_factories():
+    """(label, builder) for every evaluation configuration."""
+    return [
+        ("separate-mac", lambda app: SeparatedSystem(make_config(), app, seed=11)),
+        ("separate-same", lambda app: SeparatedSystem(
+            make_config(deployment=Deployment.SAME), app, seed=11)),
+        ("separate-threshold", lambda app: SeparatedSystem(
+            make_config(authentication=AuthenticationScheme.THRESHOLD), app, seed=11)),
+        ("privacy-firewall", lambda app: SeparatedSystem(
+            make_config(authentication=AuthenticationScheme.THRESHOLD,
+                        use_privacy_firewall=True), app, seed=11)),
+        ("coupled-base", lambda app: CoupledSystem(make_config(), app, seed=11)),
+        ("unreplicated", lambda app: UnreplicatedSystem(
+            make_config(f=0, g=0, h=0), app, seed=11)),
+    ]
+
+
+@pytest.mark.parametrize("label,factory", all_system_factories(),
+                         ids=[name for name, _ in all_system_factories()])
+class TestAllConfigurations:
+    def test_sequential_counter_is_linearizable(self, label, factory):
+        system = factory(CounterService)
+        values = [system.invoke(increment(1)).result.value for _ in range(6)]
+        assert values == [1, 2, 3, 4, 5, 6]
+
+    def test_reply_matches_reference_execution(self, label, factory):
+        system = factory(KeyValueStore)
+        reference = KeyValueStore()
+        operations = [put("a", 1), put("b", 2), get("a"), put("a", 3), get("a"), get("c")]
+        for operation in operations:
+            record = system.invoke(operation)
+            expected = reference.execute(operation, NonDetInput.empty())
+            assert record.result.value == expected.value
+
+    def test_multiple_clients_make_progress(self, label, factory):
+        system = factory(CounterService)
+        for round_index in range(3):
+            for client_index in range(len(system.clients)):
+                record = system.invoke(increment(1), client_index=client_index)
+                assert record.result.error is None
+        assert system.total_completed() == 3 * len(system.clients)
+
+
+class TestSeparatedSafety:
+    def test_counter_value_equals_number_of_executions(self, config):
+        system = SeparatedSystem(config, CounterService, seed=3)
+        total = 8
+        for _ in range(total):
+            system.invoke(increment(1))
+        final = system.invoke(read_counter())
+        assert final.result.value == total
+        # Every correct execution replica executed each request exactly once.
+        for node in system.execution_nodes:
+            assert node.requests_executed == total + 1  # + the read
+
+    def test_execution_replicas_never_diverge(self, config):
+        system = SeparatedSystem(config, KeyValueStore, seed=4)
+        for i in range(10):
+            system.invoke(put(f"key{i % 3}", i))
+        system.run(50.0)
+        checkpoints = {node.app.checkpoint() for node in system.execution_nodes}
+        assert len(checkpoints) == 1
+
+    def test_sequence_numbers_assigned_without_gaps(self, config):
+        system = SeparatedSystem(config, CounterService, seed=5)
+        records = [system.invoke(increment(1)) for _ in range(6)]
+        seqs = [record.seq for record in records]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        for node in system.execution_nodes:
+            assert node.max_executed >= max(seqs)
+
+    def test_agreement_assigns_each_request_one_sequence_number(self, config):
+        system = SeparatedSystem(config, CounterService, seed=6)
+        for _ in range(5):
+            system.invoke(increment(1))
+        replica = system.agreement_replicas[0]
+        assert replica.requests_delivered == 5
+        assert replica.batches_delivered == 5  # bundle size 1
+
+    def test_client_timestamps_are_monotonic_per_client(self, config):
+        system = SeparatedSystem(config, CounterService, seed=7)
+        for _ in range(4):
+            system.invoke(increment(1), client_index=0)
+            system.invoke(increment(1), client_index=1)
+        for client in system.clients:
+            timestamps = [record.timestamp for record in client.completed]
+            assert timestamps == sorted(timestamps)
+            assert len(set(timestamps)) == len(timestamps)
+
+    def test_results_do_not_require_all_execution_nodes(self, config):
+        """g + 1 = 2 matching replies suffice; the slowest replica is not needed."""
+        system = SeparatedSystem(config, CounterService, seed=8)
+        record = system.invoke(increment(1))
+        assert record.result.value == 1
+
+    def test_message_queue_reply_cache_serves_duplicates(self, config):
+        system = SeparatedSystem(config, CounterService, seed=9)
+        system.invoke(increment(5))
+        # The client may have been satisfied by direct execution replies;
+        # let the partial certificates reach the agreement cluster too.
+        system.run(50.0)
+        queue = system.message_queues[0]
+        client = system.clients[0]
+        cached = queue.cache.get(client.node_id)
+        assert cached is not None
+        assert cached.reply.timestamp == 1
+
+    def test_pipeline_backpressure_bounds_outstanding_batches(self):
+        config = make_config(pipeline_depth=2, num_clients=4)
+        system = SeparatedSystem(config, CounterService, seed=10)
+        for client_index in range(4):
+            for _ in range(3):
+                system.submit(increment(1), client_index=client_index)
+        system.run_until(lambda: system.total_completed() == 12, timeout_ms=30_000,
+                         description="all submissions complete")
+        assert system.total_completed() == 12
+
+    def test_bundling_batches_multiple_requests(self):
+        config = make_config(bundle_size=4, num_clients=4)
+        system = SeparatedSystem(config, CounterService, seed=12)
+        for client_index in range(4):
+            system.submit(increment(1), client_index=client_index)
+        system.run_until(lambda: system.total_completed() == 4, timeout_ms=30_000,
+                         description="bundled requests complete")
+        replica = system.agreement_replicas[0]
+        # Four requests from four clients should need fewer than four batches.
+        assert replica.batches_delivered < 4
+        assert replica.requests_delivered == 4
+
+    def test_app_processing_time_adds_to_latency(self):
+        fast = SeparatedSystem(make_config(), NullService, seed=13)
+        slow = SeparatedSystem(make_config(app_processing_ms=20.0), NullService, seed=13)
+        fast_latency = fast.invoke(null_operation()).latency_ms
+        slow_latency = slow.invoke(null_operation()).latency_ms
+        assert slow_latency >= fast_latency + 15.0
+
+
+class TestDeploymentShapes:
+    def test_cluster_sizes_match_config(self, config):
+        system = SeparatedSystem(config, CounterService, seed=1)
+        assert len(system.agreement_replicas) == config.num_agreement_nodes == 4
+        assert len(system.execution_nodes) == config.num_execution_nodes == 3
+        assert system.firewall is None
+
+    def test_firewall_deployment_has_filter_grid(self, firewall_config):
+        system = SeparatedSystem(firewall_config, CounterService, seed=1)
+        assert system.firewall is not None
+        assert len(system.firewall.nodes) == firewall_config.num_firewall_nodes == 4
+        assert len(system.firewall.rows) == 2
+
+    def test_two_fault_tolerant_execution_cluster(self):
+        config = make_config(g=2)
+        system = SeparatedSystem(config, CounterService, seed=1)
+        assert len(system.execution_nodes) == 5
+        assert system.invoke(increment(1)).result.value == 1
+
+    def test_threshold_group_created_only_for_threshold_scheme(self, config,
+                                                               threshold_config):
+        mac_system = SeparatedSystem(config, CounterService, seed=1)
+        thresh_system = SeparatedSystem(threshold_config, CounterService, seed=1)
+        assert mac_system.threshold_group is None
+        assert thresh_system.threshold_group is not None

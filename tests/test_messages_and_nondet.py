@@ -1,0 +1,195 @@
+"""Tests for message formats, encrypted bodies, and nondeterminism handling."""
+
+import pytest
+
+from repro.config import AuthenticationScheme
+from repro.crypto.certificate import Certificate
+from repro.crypto.keys import Keystore
+from repro.crypto.provider import CryptoProvider
+from repro.errors import FirewallError, ProtocolError
+from repro.messages.agreement import AgreementCertBody, OrderedBatch, PrePrepare
+from repro.messages.reply import BatchReplyBody, ClientReply, ReplyBody
+from repro.messages.request import ClientRequest, EncryptedBody, RequestEnvelope
+from repro.statemachine.interface import Operation, OperationResult
+from repro.statemachine.nondet import AbstractionLayer, NonDeterminismResolver, NonDetInput
+from repro.util.ids import Role, agreement_id, client_id, execution_id
+
+
+def make_request(encrypted=False, timestamp=1, tag=0):
+    operation = Operation(kind="put", args={"key": "secret", "tag": tag}, body_size=128)
+    body = operation
+    if encrypted:
+        body = EncryptedBody(operation, readers=frozenset({Role.CLIENT, Role.EXECUTION}))
+    return ClientRequest(operation=body, timestamp=timestamp, client=client_id(0))
+
+
+class TestEncryptedBody:
+    def test_authorized_roles_can_open(self):
+        body = EncryptedBody(Operation(kind="x"),
+                             readers=frozenset({Role.CLIENT, Role.EXECUTION}))
+        assert body.open(Role.CLIENT).kind == "x"
+        assert body.open(Role.EXECUTION).kind == "x"
+
+    def test_unauthorized_roles_raise(self):
+        body = EncryptedBody(Operation(kind="x"),
+                             readers=frozenset({Role.CLIENT, Role.EXECUTION}))
+        for role in (Role.AGREEMENT, Role.FIREWALL):
+            with pytest.raises(FirewallError):
+                body.open(role)
+
+    def test_wire_form_hides_contents(self):
+        secret = Operation(kind="put", args={"password": "hunter2"})
+        body = EncryptedBody(secret)
+        wire = body.to_wire()
+        assert "hunter2" not in str(wire)
+        assert wire["encrypted"] is True
+
+    def test_same_plaintext_same_digest(self):
+        a = EncryptedBody(Operation(kind="x", args={"v": 1}))
+        b = EncryptedBody(Operation(kind="x", args={"v": 1}))
+        assert a.ciphertext_digest == b.ciphertext_digest
+
+
+class TestRequestMessages:
+    def test_request_authenticated_fields(self):
+        request = make_request()
+        fields = request.payload_fields()
+        assert fields["t"] == 1
+        assert fields["c"] == "C0"
+
+    def test_padding_models_body_size(self):
+        request = make_request()
+        assert request.padding_bytes == 128
+        assert request.wire_size() > 128
+
+    def test_operation_visibility_by_role(self):
+        request = make_request(encrypted=True)
+        assert request.operation_for(Role.EXECUTION).kind == "put"
+        with pytest.raises(FirewallError):
+            request.operation_for(Role.AGREEMENT)
+
+    def test_envelope_exposes_request(self):
+        keystore = Keystore()
+        client = CryptoProvider(client_id(0), keystore)
+        request = make_request()
+        cert = client.new_certificate(request, AuthenticationScheme.MAC, [agreement_id(0)])
+        envelope = RequestEnvelope(certificate=cert)
+        assert envelope.request is request
+        assert envelope.wire_size() > 0
+
+
+class TestReplyMessages:
+    def _body(self, encrypted=False):
+        result = OperationResult(value={"v": 1}, size=40)
+        wrapped = result
+        if encrypted:
+            wrapped = EncryptedBody(result, readers=frozenset({Role.CLIENT, Role.EXECUTION}))
+        reply = ReplyBody(view=0, seq=3, timestamp=1, client=client_id(0), result=wrapped)
+        return BatchReplyBody(view=0, seq=3, replies=(reply,))
+
+    def test_reply_for_client(self):
+        body = self._body()
+        assert body.reply_for(client_id(0)) is body.replies[0]
+        assert body.reply_for(client_id(1)) is None
+
+    def test_result_visibility(self):
+        body = self._body(encrypted=True)
+        reply = body.replies[0]
+        assert reply.result_for(Role.CLIENT).value == {"v": 1}
+        with pytest.raises(FirewallError):
+            reply.result_for(Role.FIREWALL)
+
+    def test_client_reply_padding(self):
+        body = self._body()
+        message = ClientReply(reply=body.replies[0], body=body,
+                              certificate=Certificate(payload=body,
+                                                      scheme=AuthenticationScheme.MAC))
+        assert message.padding_bytes == 40
+
+
+class TestOrderedBatch:
+    def test_cert_body_accessor(self):
+        keystore = Keystore()
+        client = CryptoProvider(client_id(0), keystore)
+        request = make_request()
+        request_cert = client.new_certificate(request, AuthenticationScheme.MAC,
+                                              [agreement_id(0)])
+        body = AgreementCertBody(view=0, seq=1, batch_digest=b"d" * 32,
+                                 nondet=NonDetInput.empty())
+        agreement_cert = Certificate(payload=body, scheme=AuthenticationScheme.MAC)
+        batch = OrderedBatch(seq=1, view=0, request_certificates=(request_cert,),
+                             agreement_certificate=agreement_cert,
+                             nondet=NonDetInput.empty())
+        assert batch.cert_body.seq == 1
+        assert batch.client_requests() == [request]
+        assert batch.padding_bytes == 128
+
+
+class TestNonDeterminismResolver:
+    def test_propose_is_monotonic(self):
+        resolver = NonDeterminismResolver()
+        first = resolver.propose(100.0, b"a")
+        second = resolver.propose(50.0, b"b")  # clock went backwards
+        assert second.timestamp_ms >= first.timestamp_ms
+
+    def test_propose_deterministic_bits(self):
+        resolver = NonDeterminismResolver()
+        a = resolver.propose(10.0, b"seed")
+        b = NonDeterminismResolver().propose(10.0, b"seed")
+        assert a.random_bits == b.random_bits
+
+    def test_sanity_check_accepts_reasonable_proposal(self):
+        resolver = NonDeterminismResolver(max_clock_skew_ms=100.0)
+        proposal = NonDetInput(timestamp_ms=50.0, random_bits=b"\x01" * 16)
+        assert resolver.sanity_check(proposal, now_ms=60.0)
+
+    def test_sanity_check_rejects_future_timestamps(self):
+        resolver = NonDeterminismResolver(max_clock_skew_ms=100.0)
+        proposal = NonDetInput(timestamp_ms=500.0, random_bits=b"\x01" * 16)
+        assert not resolver.sanity_check(proposal, now_ms=60.0)
+
+    def test_sanity_check_rejects_wrong_length_bits(self):
+        resolver = NonDeterminismResolver()
+        proposal = NonDetInput(timestamp_ms=0.0, random_bits=b"\x01")
+        assert not resolver.sanity_check(proposal, now_ms=0.0)
+
+    def test_sanity_check_rejects_stale_timestamps(self):
+        resolver = NonDeterminismResolver(max_clock_skew_ms=10.0)
+        resolver.accept(NonDetInput(timestamp_ms=1000.0, random_bits=b"\x01" * 16))
+        proposal = NonDetInput(timestamp_ms=10.0, random_bits=b"\x01" * 16)
+        assert not resolver.sanity_check(proposal, now_ms=1000.0)
+
+
+class TestAbstractionLayer:
+    def test_requires_binding(self):
+        layer = AbstractionLayer()
+        with pytest.raises(ProtocolError):
+            layer.timestamp()
+
+    def test_derivations_are_deterministic(self):
+        nondet = NonDetInput(timestamp_ms=5.0, random_bits=b"\x07" * 16)
+        a = AbstractionLayer(nondet)
+        b = AbstractionLayer(nondet)
+        assert a.derive_handle("file:/x") == b.derive_handle("file:/x")
+        assert a.derive_int("n", 100) == b.derive_int("n", 100)
+        assert a.timestamp() == 5.0
+
+    def test_different_labels_give_different_values(self):
+        layer = AbstractionLayer(NonDetInput(timestamp_ms=0.0, random_bits=b"\x07" * 16))
+        assert layer.derive_handle("a") != layer.derive_handle("b")
+
+    def test_different_nondet_gives_different_values(self):
+        a = AbstractionLayer(NonDetInput(timestamp_ms=0.0, random_bits=b"\x01" * 16))
+        b = AbstractionLayer(NonDetInput(timestamp_ms=0.0, random_bits=b"\x02" * 16))
+        assert a.derive_handle("x") != b.derive_handle("x")
+
+    def test_derive_bytes_length(self):
+        layer = AbstractionLayer(NonDetInput.empty())
+        assert len(layer.derive_bytes("x", 40)) == 40
+
+    def test_derive_int_range(self):
+        layer = AbstractionLayer(NonDetInput.empty())
+        for i in range(20):
+            assert 0 <= layer.derive_int(f"label{i}", 7) < 7
+        with pytest.raises(ValueError):
+            layer.derive_int("x", 0)

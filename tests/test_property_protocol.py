@@ -1,0 +1,108 @@
+"""Property-based end-to-end tests of the replication protocol.
+
+Hypothesis generates random operation scripts (and random fault choices
+within the tolerated bounds); the properties are the paper's safety claims:
+the replicated system returns exactly the results a single correct server
+would, and execution replicas never diverge.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from conftest import make_config
+from repro.apps.kvstore import KeyValueStore, compare_and_swap, delete, get, put
+from repro.config import AuthenticationScheme
+from repro.core import CoupledSystem, SeparatedSystem
+from repro.faults import CorruptReplyBehaviour, make_byzantine
+from repro.statemachine.nondet import NonDetInput
+
+
+def script_strategy(max_size=12):
+    keys = st.sampled_from(["a", "b", "c"])
+    values = st.integers(min_value=0, max_value=9)
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("put"), keys, values),
+            st.tuples(st.just("get"), keys, values),
+            st.tuples(st.just("delete"), keys, values),
+            st.tuples(st.just("cas"), keys, values),
+        ),
+        min_size=1, max_size=max_size,
+    )
+
+
+def to_operation(step):
+    kind, key, value = step
+    if kind == "put":
+        return put(key, value)
+    if kind == "get":
+        return get(key)
+    if kind == "delete":
+        return delete(key)
+    return compare_and_swap(key, value, value + 1)
+
+
+def reference_results(script):
+    reference = KeyValueStore()
+    return [reference.execute(to_operation(step), NonDetInput.empty()).value
+            for step in script]
+
+
+SETTINGS = settings(max_examples=12, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestLinearizability:
+    @given(script=script_strategy())
+    @SETTINGS
+    def test_separated_system_matches_reference(self, script):
+        system = SeparatedSystem(make_config(), KeyValueStore, seed=71)
+        results = [system.invoke(to_operation(step)).result.value for step in script]
+        assert results == reference_results(script)
+
+    @given(script=script_strategy(max_size=8))
+    @SETTINGS
+    def test_separated_system_with_crashed_execution_node(self, script):
+        system = SeparatedSystem(make_config(), KeyValueStore, seed=72)
+        system.crash_execution(0)
+        results = [system.invoke(to_operation(step)).result.value for step in script]
+        assert results == reference_results(script)
+
+    @given(script=script_strategy(max_size=8))
+    @SETTINGS
+    def test_separated_system_with_byzantine_execution_node(self, script):
+        system = SeparatedSystem(make_config(), KeyValueStore, seed=73)
+        make_byzantine(system, CorruptReplyBehaviour(system.execution_nodes[1].node_id))
+        results = [system.invoke(to_operation(step)).result.value for step in script]
+        assert results == reference_results(script)
+
+    @given(script=script_strategy(max_size=8))
+    @SETTINGS
+    def test_coupled_baseline_matches_reference(self, script):
+        system = CoupledSystem(make_config(), KeyValueStore, seed=74)
+        results = [system.invoke(to_operation(step)).result.value for step in script]
+        assert results == reference_results(script)
+
+
+class TestReplicaConvergence:
+    @given(script=script_strategy())
+    @SETTINGS
+    def test_execution_replicas_converge(self, script):
+        system = SeparatedSystem(make_config(), KeyValueStore, seed=75)
+        for step in script:
+            system.invoke(to_operation(step))
+        system.run(100.0)
+        checkpoints = {node.app.checkpoint() for node in system.execution_nodes}
+        assert len(checkpoints) == 1
+
+    @given(script=script_strategy(max_size=6),
+           client_split=st.integers(min_value=0, max_value=1))
+    @SETTINGS
+    def test_two_clients_interleaved_still_converge(self, script, client_split):
+        system = SeparatedSystem(make_config(), KeyValueStore, seed=76)
+        for index, step in enumerate(script):
+            client_index = (index + client_split) % 2
+            system.invoke(to_operation(step), client_index=client_index)
+        system.run(100.0)
+        checkpoints = {node.app.checkpoint() for node in system.execution_nodes}
+        assert len(checkpoints) == 1

@@ -1,0 +1,147 @@
+"""Tests for utilities: node ids, canonical encoding, quorum arithmetic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.util.encoding import canonical_encode, estimate_size
+from repro.util.ids import (
+    NodeId,
+    Role,
+    agreement_id,
+    client_id,
+    execution_id,
+    firewall_id,
+    server_id,
+)
+from repro.util.quorum import (
+    agreement_cluster_size,
+    agreement_quorum,
+    coupled_reply_quorum,
+    execution_cluster_size,
+    firewall_grid_size,
+    has_quorum,
+    max_agreement_faults,
+    max_execution_faults,
+    reply_quorum,
+)
+
+
+class TestNodeIds:
+    def test_names(self):
+        assert agreement_id(0).name == "A0"
+        assert execution_id(2).name == "E2"
+        assert client_id(3).name == "C3"
+        assert firewall_id(1, 0).name == "F1.0"
+        assert server_id().name == "S0"
+
+    def test_firewall_requires_row(self):
+        with pytest.raises(ValueError):
+            NodeId(Role.FIREWALL, 0)
+
+    def test_non_firewall_rejects_row(self):
+        with pytest.raises(ValueError):
+            NodeId(Role.CLIENT, 0, row=1)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            NodeId(Role.CLIENT, -1)
+
+    def test_ordering_is_total_and_deterministic(self):
+        nodes = [execution_id(1), agreement_id(0), client_id(5),
+                 firewall_id(0, 1), firewall_id(1, 0), agreement_id(2)]
+        ordered = sorted(nodes)
+        assert ordered == sorted(reversed(nodes))
+        assert len(set(nodes)) == len(nodes)
+
+    def test_equality_and_hash(self):
+        assert agreement_id(1) == agreement_id(1)
+        assert agreement_id(1) != execution_id(1)
+        assert len({agreement_id(1), agreement_id(1)}) == 1
+
+
+encodable = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.text(max_size=20)
+    | st.binary(max_size=20)
+    | st.floats(allow_nan=False, allow_infinity=False),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20,
+)
+
+
+class TestCanonicalEncoding:
+    def test_deterministic_for_dict_ordering(self):
+        assert canonical_encode({"a": 1, "b": 2}) == canonical_encode({"b": 2, "a": 1})
+
+    def test_distinguishes_types(self):
+        assert canonical_encode(1) != canonical_encode("1")
+        assert canonical_encode(True) != canonical_encode(1)
+        assert canonical_encode(b"x") != canonical_encode("x")
+        assert canonical_encode(None) != canonical_encode(False)
+
+    def test_distinguishes_nesting(self):
+        assert canonical_encode([1, [2]]) != canonical_encode([[1], 2])
+        assert canonical_encode([]) != canonical_encode([[]])
+
+    def test_rejects_unsupported_types(self):
+        with pytest.raises(TypeError):
+            canonical_encode(object())
+
+    def test_estimate_size_positive(self):
+        assert estimate_size({"key": "value"}) > 0
+
+    @given(encodable)
+    @settings(max_examples=80, deadline=None)
+    def test_encoding_is_deterministic(self, value):
+        assert canonical_encode(value) == canonical_encode(value)
+
+    @given(encodable, encodable)
+    @settings(max_examples=80, deadline=None)
+    def test_distinct_values_encode_differently(self, a, b):
+        if canonical_encode(a) == canonical_encode(b):
+            # Injectivity: equal encodings only for equal values (ints/floats
+            # that compare equal, like 1 and 1.0, are still distinct types).
+            assert type(a) == type(b) or a == b
+
+
+class TestQuorums:
+    def test_cluster_sizes(self):
+        assert agreement_cluster_size(1) == 4
+        assert execution_cluster_size(1) == 3
+        assert agreement_quorum(1) == 3
+        assert reply_quorum(1) == 2
+        assert coupled_reply_quorum(1) == 2
+        assert firewall_grid_size(1) == (2, 2)
+
+    def test_zero_fault_degenerate_cases(self):
+        assert agreement_cluster_size(0) == 1
+        assert execution_cluster_size(0) == 1
+        assert reply_quorum(0) == 1
+
+    def test_negative_inputs_rejected(self):
+        for fn in (agreement_cluster_size, execution_cluster_size, agreement_quorum,
+                   reply_quorum, coupled_reply_quorum):
+            with pytest.raises(ConfigurationError):
+                fn(-1)
+
+    def test_max_faults_inverse_of_cluster_size(self):
+        for f in range(5):
+            assert max_agreement_faults(agreement_cluster_size(f)) == f
+        for g in range(5):
+            assert max_execution_faults(execution_cluster_size(g)) == g
+
+    def test_has_quorum_counts_distinct_members(self):
+        nodes = [agreement_id(i) for i in range(4)]
+        assert has_quorum(nodes[:3], 3)
+        assert not has_quorum([nodes[0], nodes[0], nodes[0]], 2)
+        assert has_quorum(nodes, 3, universe=nodes[:3])
+        assert not has_quorum(nodes[:3], 3, universe=nodes[:2])
+
+    @given(st.integers(min_value=0, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_execution_cluster_majority_property(self, g):
+        """2g+1 replicas: any g+1 subset is a majority and overlaps any other."""
+        size = execution_cluster_size(g)
+        quorum = reply_quorum(g)
+        assert 2 * quorum > size

@@ -1,0 +1,169 @@
+"""Tests for the workload generators and the analysis (Figure 4) cost model."""
+
+import pytest
+
+from conftest import make_config
+from repro.analysis import (
+    BASE_COST_MODEL,
+    PRIVACY_COST_MODEL,
+    SEPARATE_COST_MODEL,
+    format_table,
+    relative_cost,
+    relative_cost_curve,
+    summarize_latencies,
+)
+from repro.analysis.cost_model import crossover_app_processing_ms
+from repro.analysis.metrics import ThroughputSummary, percentile
+from repro.apps.counter import CounterService
+from repro.apps.nfs import NfsService
+from repro.apps.null_service import NullService
+from repro.config import CryptoCosts
+from repro.core import SeparatedSystem, UnreplicatedSystem
+from repro.workloads import (
+    AndrewScale,
+    andrew_phase_operations,
+    run_andrew,
+    run_latency_benchmark,
+    run_open_loop,
+)
+
+
+class TestCostModel:
+    def test_base_matches_hand_computation(self):
+        # relativeCost = (4*app + 8*0.2 + 36*0.2/batch) / app
+        assert relative_cost(BASE_COST_MODEL, 10.0, 1) == pytest.approx(
+            (4 * 10.0 + 1.6 + 7.2) / 10.0)
+
+    def test_separate_beats_base_without_firewall_everywhere(self):
+        """Paper: 'Without the privacy firewall overhead, our separate
+        architecture has a lower cost than BASE for all request sizes.'"""
+        for app_ms in (1, 2, 5, 10, 50, 100):
+            for batch in (1, 10, 100):
+                assert relative_cost(SEPARATE_COST_MODEL, app_ms, batch) < \
+                    relative_cost(BASE_COST_MODEL, app_ms, batch)
+
+    def test_asymptotic_advantage_is_one_third(self):
+        """As application processing dominates, Separate costs 3 execution
+        replicas against BASE's 4 -- a 33% saving."""
+        ratio = (relative_cost(BASE_COST_MODEL, 10_000.0, 10)
+                 / relative_cost(SEPARATE_COST_MODEL, 10_000.0, 10))
+        assert ratio == pytest.approx(4 / 3, rel=0.01)
+
+    def test_privacy_firewall_expensive_without_batching(self):
+        """Paper: 'With small requests and without batching, the privacy
+        firewall does greatly increase cost.'"""
+        assert relative_cost(PRIVACY_COST_MODEL, 1.0, 1) > \
+            2 * relative_cost(BASE_COST_MODEL, 1.0, 1)
+
+    def test_privacy_crossover_near_5ms_at_batch_10(self):
+        """Paper: with bundles of 10, the privacy firewall costs less than
+        BASE once requests take more than about 5 ms."""
+        crossover = crossover_app_processing_ms(PRIVACY_COST_MODEL, BASE_COST_MODEL,
+                                                batch_size=10)
+        assert 2.0 < crossover < 8.0
+        assert relative_cost(PRIVACY_COST_MODEL, 10.0, 10) < \
+            relative_cost(BASE_COST_MODEL, 10.0, 10)
+
+    def test_privacy_crossover_below_1ms_at_batch_100(self):
+        """Paper: with bundles of 100 the crossover drops to ~0.2 ms."""
+        crossover = crossover_app_processing_ms(PRIVACY_COST_MODEL, BASE_COST_MODEL,
+                                                batch_size=100)
+        assert crossover < 1.0
+
+    def test_batching_reduces_cost(self):
+        assert relative_cost(PRIVACY_COST_MODEL, 1.0, 100) < \
+            relative_cost(PRIVACY_COST_MODEL, 1.0, 10) < \
+            relative_cost(PRIVACY_COST_MODEL, 1.0, 1)
+
+    def test_curve_generation(self):
+        curve = relative_cost_curve(SEPARATE_COST_MODEL, 10, [1.0, 10.0, 100.0])
+        assert len(curve) == 3
+        assert curve[0].relative_cost > curve[-1].relative_cost
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            relative_cost(BASE_COST_MODEL, 0.0, 1)
+        with pytest.raises(ValueError):
+            relative_cost(BASE_COST_MODEL, 1.0, 0)
+
+    def test_custom_crypto_costs(self):
+        cheap = CryptoCosts(mac_ms=0.0, threshold_share_ms=0.0, threshold_verify_ms=0.0)
+        assert relative_cost(PRIVACY_COST_MODEL, 1.0, 1, cheap) == pytest.approx(3.0)
+
+
+class TestMetrics:
+    def test_summary_statistics(self):
+        summary = summarize_latencies([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert summary.samples == 5
+        assert summary.min_ms == 1.0
+        assert summary.max_ms == 100.0
+        assert summary.mean_ms == pytest.approx(22.0)
+        assert summary.p95_ms == 100.0
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_latencies([])
+
+    def test_percentile_requires_samples(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_throughput_summary(self):
+        summary = ThroughputSummary(completed=50, window_ms=1_000.0)
+        assert summary.requests_per_second == pytest.approx(50.0)
+        assert ThroughputSummary(completed=5, window_ms=0.0).requests_per_second == 0.0
+
+    def test_format_table(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["b", 2.0]], title="T")
+        assert "name" in text and "1.50" in text and text.startswith("T")
+
+
+class TestWorkloads:
+    def test_latency_benchmark_reports_statistics(self):
+        system = SeparatedSystem(make_config(), NullService, seed=61)
+        result = run_latency_benchmark(system, label="test", requests=10, warmup=2)
+        assert result.samples == 10
+        assert 0 < result.min_ms <= result.mean_ms <= result.max_ms
+        assert result.row()
+
+    def test_latency_grows_with_reply_size(self):
+        small = run_latency_benchmark(SeparatedSystem(make_config(), NullService, seed=62),
+                                      label="small", request_bytes=40, reply_bytes=40,
+                                      requests=8, warmup=2)
+        large = run_latency_benchmark(SeparatedSystem(make_config(), NullService, seed=62),
+                                      label="large", request_bytes=40, reply_bytes=65536,
+                                      requests=8, warmup=2)
+        assert large.mean_ms > small.mean_ms
+
+    def test_open_loop_reports_throughput(self):
+        system = SeparatedSystem(make_config(num_clients=8), NullService, seed=63)
+        result = run_open_loop(system, offered_load_rps=200.0, duration_ms=500.0,
+                               drain_ms=500.0)
+        assert result.completed > 0
+        assert result.achieved_throughput_rps > 0
+        assert result.mean_response_ms > 0
+
+    def test_andrew_phase_operations_cover_all_phases(self):
+        scale = AndrewScale(directories=2, files_per_directory=2)
+        for phase in range(1, 6):
+            operations = andrew_phase_operations(phase, 0, scale)
+            assert operations
+        with pytest.raises(ValueError):
+            andrew_phase_operations(6, 0, scale)
+
+    def test_andrew_runs_against_unreplicated_nfs(self):
+        system = UnreplicatedSystem(make_config(f=0, g=0), NfsService, seed=64)
+        result = run_andrew(system, label="norep", iterations=1,
+                            scale=AndrewScale(directories=2, files_per_directory=2))
+        assert set(result.phase_ms) == {1, 2, 3, 4, 5}
+        assert result.total_ms > 0
+        assert result.row()
+
+    def test_andrew_runs_against_separated_nfs(self):
+        system = SeparatedSystem(make_config(), NfsService, seed=65)
+        result = run_andrew(system, label="separated", iterations=1,
+                            scale=AndrewScale(directories=2, files_per_directory=2))
+        assert result.total_ms > 0
+        # Every correct execution replica holds the same file tree afterwards.
+        trees = {tuple(node.app.tree()) for node in system.execution_nodes}
+        assert len(trees) == 1
