@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one figure or table from the paper's
+evaluation section.  Benchmarks measure *virtual* time inside the simulator
+(the quantity the paper reports) and print the corresponding rows/series;
+pytest-benchmark additionally records the wall-clock cost of running each
+simulation so regressions in the simulator itself are visible.
+
+Scale note: the simulated experiments use fewer requests / iterations than
+the paper's physical runs so the whole harness completes in minutes; the
+*comparisons between configurations* are what reproduce the figures.
+
+This module is deliberately *not* named ``conftest.py``: test modules in
+``tests/`` import helpers from their own conftest by module name, and a
+second ``conftest`` module on ``sys.path`` would shadow it.
+"""
+
+from __future__ import annotations
+
+from repro.config import CryptoCosts, SystemConfig, TimerConfig
+
+#: Timers tuned so saturated-load benchmarks retransmit sparingly.
+BENCH_TIMERS = TimerConfig(client_retransmit_ms=400.0, agreement_retransmit_ms=200.0,
+                           execution_fetch_ms=50.0, view_change_ms=1_000.0,
+                           batch_timeout_ms=1.0)
+
+
+def bench_config(**overrides) -> SystemConfig:
+    defaults = dict(num_clients=2, pipeline_depth=64, checkpoint_interval=128,
+                    timers=BENCH_TIMERS)
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+def print_section(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import print_section
+from bench_common import print_section
 from repro.analysis import format_table
 from repro.config import CryptoCosts
 from repro.crypto.keys import Keystore

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import bench_config, print_section
+from bench_common import bench_config, print_section
 from repro.analysis import format_table
 from repro.apps.null_service import NullService
 from repro.config import AuthenticationScheme, Deployment

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import bench_config, print_section
+from bench_common import bench_config, print_section
 from repro.analysis import (
     BASE_COST_MODEL,
     PRIVACY_COST_MODEL,

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import bench_config, print_section
+from bench_common import bench_config, print_section
 from repro.analysis import format_table
 from repro.apps.nfs import NfsService
 from repro.config import AuthenticationScheme, CryptoCosts

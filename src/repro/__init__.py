@@ -31,6 +31,7 @@ from .config import (
     CryptoCosts,
     Deployment,
     NetworkConfig,
+    ShardingConfig,
     SystemConfig,
     TimerConfig,
 )
@@ -52,6 +53,7 @@ from .errors import (
     ReproError,
     VerificationError,
 )
+from .sharding import ShardedSystem
 from .statemachine import NonDetInput, Operation, OperationResult, StateMachine
 
 __version__ = "1.0.0"
@@ -61,8 +63,10 @@ __all__ = [
     "CryptoCosts",
     "Deployment",
     "NetworkConfig",
+    "ShardingConfig",
     "SystemConfig",
     "TimerConfig",
+    "ShardedSystem",
     "ClientNode",
     "CompletedRequest",
     "CoupledSystem",

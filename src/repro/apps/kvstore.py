@@ -41,8 +41,30 @@ def list_keys(prefix: str = "") -> Operation:
     return Operation(kind="list", args={"prefix": prefix}, body_size=64)
 
 
+def extract_key(operation: Operation) -> Optional[str]:
+    """Routing key of a key-value operation (``repro.sharding``).
+
+    Every correct replica and client must extract the same key from the same
+    operation, so the shard router can deterministically map ordered requests
+    to the execution cluster owning their state.  Point operations route by
+    their key; ``list`` routes by its prefix (an empty prefix -- and any
+    unknown operation kind -- returns ``None``, which partitioners map to a
+    fixed default shard, so ``list`` only enumerates keys of one shard).
+    """
+    key = operation.args.get("key")
+    if key is not None:
+        return str(key)
+    prefix = operation.args.get("prefix")
+    if prefix:
+        return str(prefix)
+    return None
+
+
 class KeyValueStore(StateMachine):
     """A deterministic in-memory key-value store."""
+
+    #: key-extraction function used by the shard router for this application
+    extract_key = staticmethod(extract_key)
 
     def __init__(self) -> None:
         self._data: Dict[str, Any] = {}

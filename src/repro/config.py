@@ -117,6 +117,56 @@ class NetworkConfig:
 
 
 @dataclass(frozen=True)
+class ShardingConfig:
+    """Horizontal partitioning of the execution side (``repro.sharding``).
+
+    The paper's separation argument cuts both ways: because the agreement
+    cluster orders *opaque* requests, the execution side can be partitioned
+    into independent ``2g + 1`` clusters -- one per key-range or hash shard --
+    behind the *same* ``3f + 1`` agreement cluster.  Each shard keeps its own
+    application state, reply cache, checkpoints, and state-transfer protocol;
+    the shard router demultiplexes the single agreed sequence into per-shard
+    subsequences deterministically, so no additional agreement is needed.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of independent execution clusters.  ``1`` degenerates to the
+        unsharded separated architecture.
+    strategy:
+        ``"hash"`` (stable hash of the operation key) or ``"range"``
+        (lexicographic key ranges split at ``range_boundaries``).
+    range_boundaries:
+        For ``"range"``: ``num_shards - 1`` sorted split keys; shard ``i``
+        owns keys in ``[boundaries[i-1], boundaries[i])``.
+    """
+
+    num_shards: int = 1
+    strategy: str = "hash"
+    range_boundaries: tuple = ()
+
+    def validate(self) -> None:
+        if self.num_shards < 1:
+            raise ConfigurationError("num_shards must be at least 1")
+        if self.strategy not in ("hash", "range"):
+            raise ConfigurationError(
+                f"sharding strategy must be 'hash' or 'range', got {self.strategy!r}"
+            )
+        if self.strategy == "range":
+            boundaries = tuple(self.range_boundaries)
+            if len(boundaries) != self.num_shards - 1:
+                raise ConfigurationError(
+                    "range sharding needs exactly num_shards - 1 boundaries, "
+                    f"got {len(boundaries)} for {self.num_shards} shards"
+                )
+            if any(left >= right for left, right in zip(boundaries, boundaries[1:])):
+                raise ConfigurationError(
+                    "range_boundaries must be strictly increasing (a repeated "
+                    "boundary would create a shard owning an empty key range)"
+                )
+
+
+@dataclass(frozen=True)
 class TimerConfig:
     """Retransmission and view-change timers (virtual milliseconds)."""
 
@@ -178,6 +228,7 @@ class SystemConfig:
     crypto: CryptoCosts = field(default_factory=CryptoCosts)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     timers: TimerConfig = field(default_factory=TimerConfig)
+    sharding: ShardingConfig = field(default_factory=ShardingConfig)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -202,8 +253,15 @@ class SystemConfig:
             )
         if self.app_processing_ms < 0:
             raise ConfigurationError("app_processing_ms must be non-negative")
+        if self.sharding.num_shards > 1 and self.use_privacy_firewall:
+            raise ConfigurationError(
+                "sharded execution is incompatible with the privacy firewall: "
+                "the shard router must read operation keys, which the firewall "
+                "deployment encrypts end-to-end"
+            )
         self.network.validate()
         self.timers.validate()
+        self.sharding.validate()
 
     # ------------------------------------------------------------------ #
     # Cluster sizes (the paper's replication-cost arithmetic).
@@ -218,6 +276,16 @@ class SystemConfig:
     def num_execution_nodes(self) -> int:
         """``2g + 1`` execution replicas tolerate ``g`` Byzantine faults."""
         return 2 * self.g + 1
+
+    @property
+    def num_execution_clusters(self) -> int:
+        """Number of independent execution clusters (shards)."""
+        return self.sharding.num_shards
+
+    @property
+    def total_execution_nodes(self) -> int:
+        """Execution replicas across all shards: ``num_shards * (2g + 1)``."""
+        return self.sharding.num_shards * self.num_execution_nodes
 
     @property
     def agreement_quorum(self) -> int:
@@ -312,6 +380,20 @@ class SystemConfig:
             f=1, g=1, deployment=Deployment.DIFFERENT,
             authentication=AuthenticationScheme.THRESHOLD,
             use_privacy_firewall=False,
+        )
+        defaults.update(overrides)
+        return SystemConfig(**defaults)
+
+    @staticmethod
+    def sharded(num_shards: int, strategy: str = "hash",
+                range_boundaries: tuple = (), **overrides: object) -> "SystemConfig":
+        """Separated architecture with ``num_shards`` execution clusters."""
+        defaults: dict = dict(
+            f=1, g=1, deployment=Deployment.DIFFERENT,
+            authentication=AuthenticationScheme.MAC,
+            use_privacy_firewall=False,
+            sharding=ShardingConfig(num_shards=num_shards, strategy=strategy,
+                                    range_boundaries=tuple(range_boundaries)),
         )
         defaults.update(overrides)
         return SystemConfig(**defaults)

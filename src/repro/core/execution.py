@@ -184,13 +184,18 @@ class ExecutionNode(Process):
             last = self.reply_table.get(request.client)
             if last is None:
                 continue
-            body = BatchReplyBody(view=last.view, seq=last.seq, replies=(last,))
-            self._send_reply(body)
+            self._send_reply(self._make_reply_body(last.view, last.seq, (last,)))
 
     def _process_pending(self) -> None:
         while (self.max_executed + 1) in self.pending:
             batch = self.pending.pop(self.max_executed + 1)
             self._execute_batch(batch)
+        # A catch-up step (batch or state transfer) may land below the
+        # oldest pending batch; keep pulling the next missing sequence number
+        # so recovery is self-driving rather than waiting for new traffic to
+        # re-trigger the gap check.
+        if self.pending and (self.max_executed + 1) < min(self.pending):
+            self._request_missing(self.max_executed + 1)
 
     def _request_missing(self, seq: int) -> None:
         if self._fetching.get(seq):
@@ -220,7 +225,7 @@ class ExecutionNode(Process):
             replies.append(self._execute_request(batch, request))
         self.max_executed = batch.seq
         self.batches_executed += 1
-        body = BatchReplyBody(view=batch.view, seq=batch.seq, replies=tuple(replies))
+        body = self._make_reply_body(batch.view, batch.seq, tuple(replies))
         reply_message = self._send_reply(body)
         self.replies_by_seq[batch.seq] = reply_message
         self._trim_reply_cache()
@@ -247,6 +252,11 @@ class ExecutionNode(Process):
         return ReplyBody(view=batch.view, seq=batch.seq,
                          timestamp=last.timestamp, client=request.client,
                          result=last.result)
+
+    def _make_reply_body(self, view: int, seq: int,
+                         replies: Tuple[ReplyBody, ...]) -> BatchReplyBody:
+        """Build the certified reply body (sharded nodes stamp their shard id)."""
+        return BatchReplyBody(view=view, seq=seq, replies=tuple(replies))
 
     def _wrap_result(self, result: OperationResult):
         if not self.encrypt_replies:

@@ -198,23 +198,38 @@ class MessageQueue(LocalExecutor):
                   certificate: Certificate) -> Optional[Certificate]:
         """Merge partial certificates until ``g + 1`` signers (or a threshold
         signature) vouch for the reply body; returns the full certificate."""
+        return self._assemble_into(self._collectors, (), body, certificate,
+                                   universe=self.execution_ids,
+                                   default_group=self.threshold_group)
+
+    def _assemble_into(self, collectors: Dict[tuple, _ReplyCollector],
+                       key_prefix: tuple, body: BatchReplyBody,
+                       certificate: Certificate, universe: List[NodeId],
+                       default_group: Optional[str]) -> Optional[Certificate]:
+        """Shared partial-certificate assembly.
+
+        ``universe`` is the set of execution replicas allowed to contribute
+        the ``g + 1`` matching authenticators (the whole cluster here; one
+        shard's replicas in :class:`~repro.sharding.queue.ShardRouterQueue`),
+        and ``key_prefix`` namespaces the collector table accordingly.
+        """
         if certificate.scheme is AuthenticationScheme.THRESHOLD:
             if certificate.threshold_signature is not None:
                 if self.crypto.verify_certificate(certificate, self.config.reply_quorum):
                     return certificate
                 return None
             # A partial threshold share: accumulate and combine at quorum.
-            key = (body.seq, self.crypto.payload_digest(body))
-            collector = self._collectors.get(key)
+            key = key_prefix + (body.seq, self.crypto.payload_digest(body))
+            collector = collectors.get(key)
             if collector is None:
                 collector = _ReplyCollector(body=body, certificate=Certificate(
                     payload=body, scheme=certificate.scheme,
-                    threshold_group=certificate.threshold_group or self.threshold_group))
-                self._collectors[key] = collector
+                    threshold_group=certificate.threshold_group or default_group))
+                collectors[key] = collector
             collector.certificate.merge(certificate)
             if collector.done:
                 return None
-            valid = self.crypto.valid_signers(collector.certificate, self.execution_ids)
+            valid = self.crypto.valid_signers(collector.certificate, universe)
             if len(valid) < self.config.reply_quorum:
                 return None
             signature = self.crypto.threshold_combine(
@@ -225,16 +240,16 @@ class MessageQueue(LocalExecutor):
             return collector.certificate
 
         # MAC / signature partials: merge and count distinct execution signers.
-        key = (body.seq, self.crypto.payload_digest(body))
-        collector = self._collectors.get(key)
+        key = key_prefix + (body.seq, self.crypto.payload_digest(body))
+        collector = collectors.get(key)
         if collector is None:
             collector = _ReplyCollector(body=body, certificate=Certificate(
                 payload=body, scheme=certificate.scheme))
-            self._collectors[key] = collector
+            collectors[key] = collector
         collector.certificate.merge(certificate)
         if collector.done:
             return None
-        valid = self.crypto.valid_signers(collector.certificate, self.execution_ids)
+        valid = self.crypto.valid_signers(collector.certificate, universe)
         if len(valid) < self.config.reply_quorum:
             return None
         collector.done = True

@@ -87,7 +87,8 @@ class CorruptReplyBehaviour(ByzantineBehaviour):
                       result=OperationResult(value=self.corrupt_value, size=16))
             for reply in body.replies
         )
-        return BatchReplyBody(view=body.view, seq=body.seq, replies=corrupted)
+        return BatchReplyBody(view=body.view, seq=body.seq, replies=corrupted,
+                              shard=body.shard)
 
     def transform(self, destination: NodeId, message: Message) -> Optional[Message]:
         if isinstance(message, BatchReply):
@@ -113,7 +114,8 @@ class LeakPlaintextBehaviour(ByzantineBehaviour):
             exposed.append(ReplyBody(view=reply.view, seq=reply.seq,
                                      timestamp=reply.timestamp, client=reply.client,
                                      result=result))
-        return BatchReplyBody(view=body.view, seq=body.seq, replies=tuple(exposed))
+        return BatchReplyBody(view=body.view, seq=body.seq, replies=tuple(exposed),
+                              shard=body.shard)
 
     def transform(self, destination: NodeId, message: Message) -> Optional[Message]:
         if isinstance(message, BatchReply):

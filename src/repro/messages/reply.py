@@ -68,18 +68,30 @@ class ReplyBody(Message):
 
 @dataclass(frozen=True)
 class BatchReplyBody(Message):
-    """All replies for one batch; the payload the reply certificate covers."""
+    """All replies for one batch; the payload the reply certificate covers.
+
+    ``shard`` identifies the execution cluster that produced the reply in
+    sharded deployments (``repro.sharding``), in which case ``seq`` is that
+    shard's local sequence number.  It is covered by the certificate, so a
+    Byzantine node cannot relabel a reply as coming from another shard
+    without invalidating every correct authenticator.  Unsharded deployments
+    leave it ``None`` and their wire format is unchanged.
+    """
 
     view: int
     seq: int
     replies: Tuple[ReplyBody, ...]
+    shard: Optional[int] = None
 
     def payload_fields(self) -> Dict[str, Any]:
-        return {
+        fields: Dict[str, Any] = {
             "v": self.view,
             "n": self.seq,
             "replies": [reply.to_wire() for reply in self.replies],
         }
+        if self.shard is not None:
+            fields["shard"] = self.shard
+        return fields
 
     @property
     def padding_bytes(self) -> int:  # type: ignore[override]

@@ -1,0 +1,76 @@
+"""Shard-aware clients.
+
+A client of the sharded service computes -- with the same deterministic
+router every replica uses -- which shard owns each operation it submits, and
+then accepts a reply only when ``g + 1`` matching authenticators come from
+*that shard's* ``2g + 1`` execution replicas.  A certificate assembled from
+another shard's replicas (or a reply body whose authenticated ``shard`` field
+does not match the expected owner) is rejected and counted in
+:attr:`ShardAwareClient.misrouted_replies`: without this check, ``g + 1``
+Byzantine nodes spread across *different* shards could forge a reply even
+though no single shard exceeds its fault bound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..config import SystemConfig
+from ..core.client import ClientNode, CompletedRequest
+from ..crypto.keys import Keystore
+from ..messages.reply import ClientReply
+from ..net.message import Message
+from ..sim.scheduler import Scheduler
+from ..statemachine.interface import Operation
+from ..util.ids import NodeId
+from .router import ShardRouter
+
+
+class ShardAwareClient(ClientNode):
+    """A client that routes requests to shards and votes per-shard replies."""
+
+    def __init__(self, node_id: NodeId, scheduler: Scheduler, config: SystemConfig,
+                 keystore: Keystore, agreement_ids: List[NodeId],
+                 request_verifiers: List[NodeId],
+                 shard_execution_ids: List[List[NodeId]],
+                 router: ShardRouter,
+                 shard_threshold_groups: Optional[List[str]] = None) -> None:
+        all_execution = [node for shard in shard_execution_ids for node in shard]
+        super().__init__(node_id=node_id, scheduler=scheduler, config=config,
+                         keystore=keystore, agreement_ids=agreement_ids,
+                         request_verifiers=request_verifiers,
+                         reply_quorum=config.reply_quorum,
+                         reply_universe=all_execution,
+                         threshold_group=None, encrypt_requests=False)
+        self.router = router
+        self.shard_execution_ids = [list(ids) for ids in shard_execution_ids]
+        self.shard_threshold_groups = shard_threshold_groups
+        self._expected_shard: Optional[int] = None
+        self.misrouted_replies = 0
+
+    def _issue(self, operation: Operation, timestamp: int,
+               callback: Optional[Callable[[CompletedRequest], None]],
+               issued_at: Optional[float] = None) -> None:
+        shard = self.router.shard_of_operation(operation)
+        self._expected_shard = shard
+        # Scope the inherited quorum counting to the owning shard: only its
+        # replicas may contribute the g + 1 matching authenticators.
+        self.reply_universe = self.shard_execution_ids[shard]
+        if self.shard_threshold_groups is not None:
+            self.threshold_group = self.shard_threshold_groups[shard]
+        super()._issue(operation, timestamp, callback, issued_at=issued_at)
+
+    def on_message(self, sender: NodeId, message: Message) -> None:
+        if isinstance(message, ClientReply) and self._is_misrouted(message):
+            self.misrouted_replies += 1
+            return
+        super().on_message(sender, message)
+
+    def _is_misrouted(self, message: ClientReply) -> bool:
+        """A reply for our outstanding request claiming the wrong shard."""
+        pending = self._pending
+        if pending is None or message.reply.timestamp != pending.timestamp:
+            return False
+        if message.reply.client != self.node_id:
+            return False
+        return message.body.shard != self._expected_shard

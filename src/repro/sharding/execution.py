@@ -1,0 +1,231 @@
+"""Execution replicas of one shard.
+
+A :class:`ShardExecutionNode` is an ordinary
+:class:`~repro.core.execution.ExecutionNode` whose peers are the ``2g + 1``
+replicas of *its own shard* and whose sequence space is the shard-local one
+assigned by the shard routers.  The node converts each incoming
+:class:`~repro.sharding.messages.ShardedBatch` into a
+:class:`~repro.sharding.messages.ShardLocalBatch` by re-deriving, with its own
+router, the subset of requests it owns -- so the inherited pipeline (in-order
+execution, gap fetch, per-shard checkpoints, reply cache, state transfer)
+runs unchanged on shard-local sequence numbers, and a misrouted or tampered
+envelope is rejected rather than executed.
+
+Misroute rejection (counted in :attr:`ShardExecutionNode.misroutes`) fires
+when:
+
+* the envelope is addressed to a different shard,
+* none of the batch's requests are owned by this shard, or
+* the owned subset claimed by a peer-transferred batch does not match the
+  subset this node derives itself.
+
+**Route authentication.**  The agreement certificate covers the *global*
+sequence number; the shard-local ``shard_seq`` is derived, not signed, so a
+single Byzantine agreement node could relabel a genuinely committed batch
+with a wrong slot and scramble the shard's execution order.  To prevent
+this, a replica accepts a ``(shard_seq, batch)`` binding only once ``f + 1``
+distinct agreement nodes have sent the identical envelope -- every correct
+agreement node computes the same deterministic assignment, so ``f + 1``
+matching votes always include a correct one.  Bindings served by shard peers
+(the gap-fetch protocol) need ``g + 1`` distinct peer votes instead; a
+recovering replica that cannot gather them simply waits for the next stable
+checkpoint, whose ``g + 1``-signed proof certifies everything below it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..config import SystemConfig
+from ..core.execution import ExecutionNode
+from ..crypto.keys import Keystore
+from ..messages.agreement import OrderedBatch
+from ..messages.checkpoint import BatchTransfer
+from ..messages.reply import BatchReplyBody, ReplyBody
+from ..messages.request import ClientRequest
+from ..net.message import Message
+from ..sim.scheduler import Scheduler
+from ..statemachine.interface import StateMachine
+from ..util.ids import NodeId
+from .messages import ShardedBatch, ShardLocalBatch
+from .router import ShardRouter
+
+
+class ShardExecutionNode(ExecutionNode):
+    """One of the ``2g + 1`` execution replicas of one shard."""
+
+    def __init__(self, node_id: NodeId, scheduler: Scheduler, config: SystemConfig,
+                 keystore: Keystore, state_machine: StateMachine,
+                 agreement_ids: List[NodeId], execution_ids: List[NodeId],
+                 client_ids: List[NodeId], upstream: List[NodeId],
+                 shard: int, router: ShardRouter,
+                 threshold_group: Optional[str] = None) -> None:
+        super().__init__(node_id=node_id, scheduler=scheduler, config=config,
+                         keystore=keystore, state_machine=state_machine,
+                         agreement_ids=agreement_ids, execution_ids=execution_ids,
+                         client_ids=client_ids, upstream=upstream,
+                         threshold_group=threshold_group, encrypt_replies=False)
+        self.shard = shard
+        self.router = router
+        self.misroutes = 0
+        #: route-binding votes: shard_seq -> voter -> envelope digest
+        self._route_votes: Dict[int, Dict[NodeId, bytes]] = {}
+        #: shard_seq -> digest of the accepted (f+1 / g+1 vouched) binding
+        self._route_accepted: Dict[int, bytes] = {}
+
+    # ------------------------------------------------------------------ #
+    # Message dispatch.
+    # ------------------------------------------------------------------ #
+
+    def on_message(self, sender: NodeId, message: Message) -> None:
+        if isinstance(message, ShardedBatch):
+            self.handle_sharded_batch(sender, message)
+        elif isinstance(message, OrderedBatch):
+            # A raw (unrouted) batch has no shard-local sequence number; in a
+            # sharded deployment it can only come from a confused or Byzantine
+            # sender.
+            self.misroutes += 1
+        elif isinstance(message, BatchTransfer):
+            # Peer fetch responses re-enter through the vote path: the
+            # transferred binding counts as one peer vote, never as truth.
+            if sender in self.execution_ids and isinstance(message.batch,
+                                                           ShardLocalBatch):
+                self.handle_sharded_batch(sender, message.batch.to_sharded_batch())
+        else:
+            super().on_message(sender, message)
+
+    def handle_sharded_batch(self, sender: NodeId, message: ShardedBatch) -> None:
+        if message.shard != self.shard:
+            self.misroutes += 1
+            return
+        local = self._localize(message)
+        if local is None:
+            self.misroutes += 1
+            return
+        seq = message.shard_seq
+        # Vote on the agreement-certificate *body* (view, global seq, batch
+        # digest, nondet): it is identical across correct senders -- each
+        # sender's assembled certificate carries a different authenticator
+        # set -- and it binds the batch content, which _validate_batch checks
+        # against it at acceptance time.
+        digest = self.crypto.payload_digest(message.batch.agreement_certificate.payload)
+        votes = self._route_votes.setdefault(seq, {})
+        repeat = votes.get(sender) == digest
+        votes[sender] = digest
+
+        if seq <= self.max_executed:
+            # Already executed (possibly via state transfer).  Resend the
+            # reply certificate only on a *repeat* envelope from the same
+            # sender -- that is a genuine retransmission, meaning our earlier
+            # reply was lost; first contacts from other agreement nodes are
+            # just their initial (now redundant) sends.
+            if repeat:
+                self._resend_replies(local)
+            return
+        accepted = self._route_accepted.get(seq)
+        if accepted is not None:
+            if accepted != digest:
+                self.misroutes += 1
+            return
+        if not self._binding_vouched(votes, digest):
+            return
+        self.handle_ordered_batch(local)
+        if local.seq in self.pending or self.max_executed >= local.seq:
+            self._route_accepted[seq] = digest
+
+    def _binding_vouched(self, votes: Dict[NodeId, bytes], digest: bytes) -> bool:
+        """``f + 1`` agreement senders or ``g + 1`` shard peers vouch for it."""
+        agreement_votes = sum(1 for voter, seen in votes.items()
+                              if seen == digest and voter in self.agreement_ids)
+        if agreement_votes >= self.config.f + 1:
+            return True
+        peer_votes = sum(1 for voter, seen in votes.items()
+                         if seen == digest and voter in self.execution_ids)
+        return peer_votes >= self.config.g + 1
+
+    def _localize(self, message: ShardedBatch) -> Optional[ShardLocalBatch]:
+        """Build this shard's view of the envelope (None if nothing is owned)."""
+        batch = message.batch
+        owned = self._owned_requests(batch.request_certificates)
+        if not owned:
+            return None
+        return ShardLocalBatch(
+            shard=self.shard, seq=message.shard_seq, global_seq=batch.seq,
+            view=batch.view, request_certificates=owned,
+            full_request_certificates=batch.request_certificates,
+            agreement_certificate=batch.agreement_certificate, nondet=batch.nondet,
+        )
+
+    def _owned_requests(self, certificates: Tuple) -> Tuple:
+        """The subset of a batch's request certificates this shard owns."""
+        return tuple(
+            cert for cert in certificates
+            if isinstance(cert.payload, ClientRequest)
+            and self.router.shard_of_request(cert.payload) == self.shard
+        )
+
+    # ------------------------------------------------------------------ #
+    # Validation (shard-local batches only).
+    # ------------------------------------------------------------------ #
+
+    def _validate_batch(self, batch) -> bool:
+        if not isinstance(batch, ShardLocalBatch):
+            return False
+        if batch.shard != self.shard:
+            self.misroutes += 1
+            return False
+        body = batch.agreement_certificate.payload
+        # The agreement certificate covers the *global* sequence number and
+        # the digest of the full batch.
+        if (getattr(body, "seq", None) != batch.global_seq
+                or getattr(body, "view", None) != batch.view):
+            return False
+        if not self.crypto.verify_certificate(batch.agreement_certificate,
+                                              self.config.agreement_quorum,
+                                              self.agreement_ids):
+            return False
+        expected = self.crypto.digest({
+            "batch": [self.crypto.payload_digest(cert.payload)
+                      for cert in batch.full_request_certificates],
+        })
+        if expected != body.batch_digest:
+            return False
+        for certificate in batch.full_request_certificates:
+            request = certificate.payload
+            if not isinstance(request, ClientRequest):
+                return False
+            if request.client not in self.client_ids:
+                return False
+            if not self.crypto.verify_certificate(certificate, 1, [request.client]):
+                return False
+        # Misroute rejection: the owned subset must be exactly what this
+        # node's own router derives (peer-transferred batches carry the
+        # sender's filtering, which a Byzantine peer could doctor).
+        owned = self._owned_requests(batch.full_request_certificates)
+        if not owned or owned != batch.request_certificates:
+            self.misroutes += 1
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Replies carry the shard id; vote tables are garbage collected with
+    # the recent-batch window.
+    # ------------------------------------------------------------------ #
+
+    def _make_reply_body(self, view: int, seq: int,
+                         replies: Tuple[ReplyBody, ...]) -> BatchReplyBody:
+        return BatchReplyBody(view=view, seq=seq, replies=tuple(replies),
+                              shard=self.shard)
+
+    def _trim_recent(self) -> None:
+        super()._trim_recent()
+        horizon = self.max_executed - 2 * self.config.checkpoint_interval
+        if horizon <= 0:
+            return
+        self._route_votes = {
+            seq: votes for seq, votes in self._route_votes.items() if seq > horizon
+        }
+        self._route_accepted = {
+            seq: digest for seq, digest in self._route_accepted.items()
+            if seq > horizon
+        }

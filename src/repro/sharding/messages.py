@@ -1,0 +1,101 @@
+"""Messages of the sharded execution subsystem.
+
+:class:`ShardedBatch` is what flows from the shard-routing message queues to
+one execution cluster: the *complete* globally-ordered batch (so the shard
+can verify the untampered agreement certificate) plus the routing header
+``(shard, shard_seq)``.  ``shard_seq`` is the shard's own contiguous sequence
+number, assigned deterministically by every correct agreement node as it
+delivers batches in global order -- the shard's execution replicas order,
+checkpoint, and state-transfer entirely in this local sequence space.
+
+:class:`ShardLocalBatch` is the execution-side view of a routed batch: the
+same interface as :class:`~repro.messages.agreement.OrderedBatch` but with
+``seq`` bound to the shard-local sequence number and ``request_certificates``
+restricted to the requests this shard owns (recomputed locally, never
+trusted from the wire).  Because it quacks like an ``OrderedBatch``, the
+entire unsharded execution pipeline -- pending ordering, gap fetch,
+checkpointing, garbage collection, state transfer -- runs unmodified on
+shard-local sequence numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from ..crypto.certificate import Certificate
+from ..messages.agreement import AgreementCertBody, OrderedBatch
+from ..net.message import Message
+from ..statemachine.nondet import NonDetInput
+
+
+@dataclass(frozen=True)
+class ShardedBatch(Message):
+    """Routing envelope: one globally-ordered batch addressed to one shard."""
+
+    shard: int
+    shard_seq: int
+    batch: OrderedBatch
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "shard_seq": self.shard_seq,
+            "batch": self.batch.to_wire(),
+        }
+
+    @property
+    def padding_bytes(self) -> int:  # type: ignore[override]
+        return self.batch.padding_bytes
+
+
+@dataclass(frozen=True)
+class ShardLocalBatch(Message):
+    """A shard's local view of a routed batch.
+
+    ``seq`` is the shard-local sequence number; ``global_seq`` is the
+    sequence number the agreement certificate covers.  ``request_certificates``
+    holds only the requests owned by ``shard``;
+    ``full_request_certificates`` holds the whole batch, which is what the
+    agreement certificate's batch digest binds.
+    """
+
+    shard: int
+    seq: int
+    global_seq: int
+    view: int
+    request_certificates: Tuple[Certificate, ...]
+    full_request_certificates: Tuple[Certificate, ...]
+    agreement_certificate: Certificate
+    nondet: NonDetInput
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "n": self.seq,
+            "gn": self.global_seq,
+            "v": self.view,
+            "requests": [cert.to_wire() for cert in self.full_request_certificates],
+            "agreement": self.agreement_certificate.to_wire(),
+        }
+
+    @property
+    def padding_bytes(self) -> int:  # type: ignore[override]
+        return sum(
+            getattr(cert.payload, "padding_bytes", 0)
+            for cert in self.full_request_certificates
+        )
+
+    @property
+    def cert_body(self) -> AgreementCertBody:
+        return self.agreement_certificate.payload
+
+    def to_sharded_batch(self) -> ShardedBatch:
+        """Rebuild the routing envelope (peer fetches re-vote the binding)."""
+        return ShardedBatch(
+            shard=self.shard, shard_seq=self.seq,
+            batch=OrderedBatch(seq=self.global_seq, view=self.view,
+                               request_certificates=self.full_request_certificates,
+                               agreement_certificate=self.agreement_certificate,
+                               nondet=self.nondet),
+        )

@@ -1,0 +1,88 @@
+"""Deterministic key partitioners.
+
+Sharded execution only works if *every* correct participant -- each agreement
+node's shard router, each execution replica, and each client -- maps a given
+key to the same shard.  Partitioners are therefore pure functions of the key:
+the hash partitioner uses a keyed-nothing BLAKE2b digest (Python's built-in
+``hash`` is randomised per process and must never be used here), and the
+key-range partitioner uses lexicographic comparison against a fixed, sorted
+boundary list.
+
+Keyless operations (``key is None``) fall through to shard 0 so that every
+operation has a well-defined owner.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from bisect import bisect_right
+from typing import Optional, Sequence, Tuple
+
+from ..config import ShardingConfig
+from ..errors import ConfigurationError
+
+#: shard that owns operations without an extractable key
+DEFAULT_SHARD = 0
+
+
+class Partitioner(ABC):
+    """Maps routing keys to shard indices in ``[0, num_shards)``."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ConfigurationError("a partitioner needs at least one shard")
+        self.num_shards = num_shards
+
+    def shard_of_key(self, key: Optional[str]) -> int:
+        """Shard owning ``key`` (keyless operations go to shard 0)."""
+        if key is None:
+            return DEFAULT_SHARD
+        return self._shard_of(key)
+
+    @abstractmethod
+    def _shard_of(self, key: str) -> int:
+        """Shard owning a non-None key."""
+
+
+class HashPartitioner(Partitioner):
+    """Stable-hash partitioning: ``blake2b(key) mod num_shards``.
+
+    BLAKE2b is deterministic across processes and machines, so two replicas
+    built from the same configuration always agree on the owner of a key --
+    the property the router's misroute-rejection check relies on.
+    """
+
+    def _shard_of(self, key: str) -> int:
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big") % self.num_shards
+
+
+class KeyRangePartitioner(Partitioner):
+    """Lexicographic key-range partitioning.
+
+    ``boundaries`` holds ``num_shards - 1`` sorted split keys: shard 0 owns
+    keys below ``boundaries[0]``, shard ``i`` owns ``[boundaries[i-1],
+    boundaries[i])``, and the last shard owns everything from
+    ``boundaries[-1]`` up.
+    """
+
+    def __init__(self, boundaries: Sequence[str]) -> None:
+        super().__init__(len(boundaries) + 1)
+        ordered: Tuple[str, ...] = tuple(boundaries)
+        if any(left >= right for left, right in zip(ordered, ordered[1:])):
+            raise ConfigurationError(
+                "key-range boundaries must be strictly increasing"
+            )
+        self.boundaries = ordered
+
+    def _shard_of(self, key: str) -> int:
+        return bisect_right(self.boundaries, key)
+
+
+def make_partitioner(sharding: ShardingConfig) -> Partitioner:
+    """Build the partitioner described by a :class:`ShardingConfig`."""
+    sharding.validate()
+    if sharding.strategy == "range":
+        return KeyRangePartitioner(tuple(sharding.range_boundaries))
+    return HashPartitioner(sharding.num_shards)

@@ -1,0 +1,237 @@
+"""The shard-routing message queue.
+
+Each agreement node hosts a :class:`ShardRouterQueue` instead of the plain
+:class:`~repro.core.message_queue.MessageQueue`.  The agreement library
+delivers committed batches in strict global sequence order on every correct
+replica (``AgreementReplica._deliver_in_order``), so each queue can assign
+per-shard sequence numbers *deterministically*: when the batch at global
+sequence ``n`` contains requests owned by shard ``s``, the queue increments
+its shard-``s`` counter and every correct agreement node computes the same
+``(s, shard_seq)`` pair.  No extra agreement round is needed to shard -- the
+paper's separation already provides the total order, and routing is a pure
+function of it.
+
+A batch touching requests of several shards (possible when ``bundle_size >
+1``) is sent to *every* owning shard; each shard executes only the subset it
+owns, so cross-shard bundles cost bandwidth but never violate ownership.
+
+Reply certificates are assembled per shard: ``g + 1`` matching
+authenticators must come from the replicas of the shard named inside the
+(authenticated) reply body, so a quorum can never be assembled across
+clusters -- ``g`` Byzantine nodes *per shard* are tolerated, not ``g``
+Byzantine nodes total.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..agreement.local import RetryOutcome
+from ..config import AuthenticationScheme, SystemConfig
+from ..core.message_queue import MessageQueue, PendingSend, _ReplyCollector
+from ..crypto.certificate import Certificate
+from ..messages.agreement import OrderedBatch
+from ..messages.reply import BatchReply, BatchReplyBody, ClientReply
+from ..messages.request import ClientRequest
+from ..sim.process import Process
+from ..statemachine.nondet import NonDetInput
+from ..util.ids import NodeId
+from .messages import ShardedBatch
+from .router import ShardRouter
+
+#: (shard, shard-local sequence number)
+ShardPart = Tuple[int, int]
+
+
+class ShardRouterQueue(MessageQueue):
+    """Local state machine of one agreement node in the sharded architecture."""
+
+    def __init__(self, owner: Process, config: SystemConfig,
+                 shard_execution_ids: List[List[NodeId]],
+                 client_ids: List[NodeId], router: ShardRouter,
+                 shard_threshold_groups: Optional[List[str]] = None) -> None:
+        all_execution = [node for shard in shard_execution_ids for node in shard]
+        super().__init__(owner=owner, config=config, execution_ids=all_execution,
+                         downstream=all_execution, client_ids=client_ids,
+                         threshold_group=None)
+        self.router = router
+        self.shard_execution_ids = [list(ids) for ids in shard_execution_ids]
+        self.shard_threshold_groups = shard_threshold_groups
+        self.num_shards = router.num_shards
+
+        #: per-shard next local sequence number (deterministic across replicas)
+        self._next_shard_seq: List[int] = [0] * self.num_shards
+        #: book-keeping for batches awaiting their reply, keyed by shard part
+        self.shard_pending: Dict[ShardPart, PendingSend] = {}
+        #: shard parts not yet answered, per shard: shard_seq -> global seq
+        self._unanswered: List[Dict[int, int]] = [dict() for _ in range(self.num_shards)]
+        #: global seq -> number of shard parts still awaiting a reply
+        self._parts_outstanding: Dict[int, int] = {}
+        #: global sequence numbers fully answered above the watermark
+        self._answered: Set[int] = set()
+        #: reply-certificate assembly, keyed by (shard, shard_seq, body digest)
+        self._shard_collectors: Dict[Tuple[int, int, bytes], _ReplyCollector] = {}
+
+        # Statistics.
+        self.misrouted_replies = 0
+
+    # ------------------------------------------------------------------ #
+    # LocalExecutor interface: routing agreed batches.
+    # ------------------------------------------------------------------ #
+
+    def execute_batch(self, seq: int, view: int,
+                      request_certificates: Tuple[Certificate, ...],
+                      agreement_certificate: Certificate,
+                      nondet: NonDetInput) -> None:
+        batch = OrderedBatch(seq=seq, view=view,
+                             request_certificates=tuple(request_certificates),
+                             agreement_certificate=agreement_certificate,
+                             nondet=nondet)
+        self.max_n = max(self.max_n, seq)
+        requests = [cert.payload for cert in request_certificates
+                    if isinstance(cert.payload, ClientRequest)]
+        shards = self.router.shards_of_requests(requests)
+        self._parts_outstanding[seq] = len(shards)
+        for shard in shards:
+            self._next_shard_seq[shard] += 1
+            shard_seq = self._next_shard_seq[shard]
+            envelope = ShardedBatch(shard=shard, shard_seq=shard_seq, batch=batch)
+            self._unanswered[shard][shard_seq] = seq
+            pending = PendingSend(batch=envelope,
+                                  timeout_ms=self.config.timers.agreement_retransmit_ms)
+            self.shard_pending[(shard, shard_seq)] = pending
+            # Unlike the unsharded queue, every agreement node multicasts the
+            # envelope immediately (ignoring primary_sends_first): shard_seq
+            # is not covered by the agreement certificate, so execution
+            # replicas accept a routing binding only after f + 1 distinct
+            # agreement nodes vouch for it -- the extra sends are what let
+            # that quorum form without waiting for retransmission timeouts.
+            self._send_to_shard(shard, envelope)
+            self._arm_shard_timer(pending)
+
+    def _send_to_shard(self, shard: int, envelope: ShardedBatch) -> None:
+        self.owner.multicast(self.shard_execution_ids[shard], envelope)
+        self.batches_sent += 1
+
+    def _arm_shard_timer(self, pending: PendingSend) -> None:
+        envelope: ShardedBatch = pending.batch
+        part = (envelope.shard, envelope.shard_seq)
+        pending.timer = self.owner.set_timer(
+            pending.timeout_ms,
+            lambda part=part: self._on_shard_retransmit_timeout(part),
+            label=f"{self.owner.node_id}:mq-retransmit:s{part[0]}:{part[1]}",
+        )
+
+    def _on_shard_retransmit_timeout(self, part: ShardPart) -> None:
+        pending = self.shard_pending.get(part)
+        if pending is None:
+            return
+        self._send_to_shard(part[0], pending.batch)
+        self.retransmissions += 1
+        pending.retransmissions += 1
+        pending.timeout_ms *= 2
+        self._arm_shard_timer(pending)
+
+    def retry_hint(self, request_certificate: Certificate) -> RetryOutcome:
+        """Serve a client retransmission from the cache or pending sends."""
+        request: ClientRequest = request_certificate.payload
+        cached = self.cache.get(request.client)
+        if (self.config.use_reply_cache and cached is not None
+                and cached.reply.timestamp >= request.timestamp):
+            self.owner.send(request.client, cached)
+            self.cache_hits += 1
+            return RetryOutcome.HANDLED
+        # A multi-shard bundle has one pending part per owning shard, each
+        # carrying the full request list; resend only to the shard that owns
+        # the retransmitted request -- the others cannot regenerate its reply.
+        owner = self.router.shard_of_request(request)
+        for part, pending in self.shard_pending.items():
+            if part[0] != owner:
+                continue
+            envelope: ShardedBatch = pending.batch
+            for cert in envelope.batch.request_certificates:
+                pending_request: ClientRequest = cert.payload
+                if (pending_request.client == request.client
+                        and pending_request.timestamp == request.timestamp):
+                    self._send_to_shard(owner, envelope)
+                    self.retransmissions += 1
+                    return RetryOutcome.HANDLED
+        return RetryOutcome.NEED_ORDER
+
+    def highest_ready_seq(self) -> Optional[int]:
+        """Pipeline back-pressure watermark.
+
+        With sharding, replies complete out of global order (a fast shard can
+        answer global sequence 9 before a slow one answers 3), so the
+        watermark is the highest *contiguously* answered global sequence
+        number -- the conservative bound that keeps the paper's pipeline
+        invariant (at most ``P`` unanswered sequence numbers) intact.
+        """
+        return self.highest_reply_seq
+
+    # ------------------------------------------------------------------ #
+    # Reply certificates from the execution clusters.
+    # ------------------------------------------------------------------ #
+
+    def on_batch_reply(self, sender: NodeId, message: BatchReply) -> None:
+        body = message.body
+        if body.seq != message.seq:
+            return
+        shard = body.shard
+        if shard is None or not 0 <= shard < self.num_shards:
+            self.misrouted_replies += 1
+            return
+        full = self._assemble_shard(body, message.certificate)
+        if full is None:
+            return
+        self._accept_shard_reply(body, full)
+
+    def _assemble_shard(self, body: BatchReplyBody,
+                        certificate: Certificate) -> Optional[Certificate]:
+        """Merge partials until ``g + 1`` *same-shard* signers vouch for the body."""
+        shard = body.shard
+        default_group = (self.shard_threshold_groups[shard]
+                         if self.shard_threshold_groups is not None else None)
+        return self._assemble_into(self._shard_collectors, (shard,), body,
+                                   certificate,
+                                   universe=self.shard_execution_ids[shard],
+                                   default_group=default_group)
+
+    def _accept_shard_reply(self, body: BatchReplyBody,
+                            certificate: Certificate) -> None:
+        """A full reply certificate for shard part ``(body.shard, body.seq)``."""
+        shard, shard_seq = body.shard, body.seq
+        # The shard executes in shard-local order, so a reply for shard_seq
+        # settles every part of this shard at or below it.
+        for part in [key for key in self.shard_pending
+                     if key[0] == shard and key[1] <= shard_seq]:
+            pending = self.shard_pending.pop(part)
+            if pending.timer is not None:
+                pending.timer.cancel()
+        settled = [s for s in self._unanswered[shard] if s <= shard_seq]
+        for s in sorted(settled):
+            global_seq = self._unanswered[shard].pop(s)
+            remaining = self._parts_outstanding.get(global_seq, 0) - 1
+            if remaining <= 0:
+                self._parts_outstanding.pop(global_seq, None)
+                self._answered.add(global_seq)
+            else:
+                self._parts_outstanding[global_seq] = remaining
+        while (self.highest_reply_seq + 1) in self._answered:
+            self.highest_reply_seq += 1
+            self._answered.discard(self.highest_reply_seq)
+        # Garbage collect assembly state for old parts of this shard.
+        horizon = shard_seq - self.config.pipeline_depth
+        self._shard_collectors = {
+            key: value for key, value in self._shard_collectors.items()
+            if key[0] != shard or key[1] > horizon
+        }
+        # Forward each client its reply and update the cache.
+        for reply in body.replies:
+            client_reply = ClientReply(reply=reply, body=body, certificate=certificate)
+            if self.config.use_reply_cache:
+                cached = self.cache.get(reply.client)
+                if cached is None or cached.reply.timestamp <= reply.timestamp:
+                    self.cache[reply.client] = client_reply
+            self.owner.send(reply.client, client_reply)
+            self.replies_forwarded += 1

@@ -1,0 +1,67 @@
+"""The shard router: operation -> owning execution cluster.
+
+A router pairs a :class:`~repro.sharding.partitioner.Partitioner` with an
+application-supplied *key extractor* (e.g.
+:func:`repro.apps.kvstore.extract_key`).  The same router instance (or an
+identically-configured one) runs in three places:
+
+* in every agreement node's :class:`~repro.sharding.queue.ShardRouterQueue`,
+  to demultiplex the globally agreed sequence into per-shard subsequences;
+* in every :class:`~repro.sharding.execution.ShardExecutionNode`, to verify
+  that each request in a routed batch really belongs to it (misroute
+  rejection: a Byzantine agreement node cannot make a shard execute a
+  request it does not own);
+* in every :class:`~repro.sharding.client.ShardAwareClient`, to know which
+  shard's ``g + 1`` reply quorum to wait for.
+
+Determinism across these sites is what makes sharding agreement-free: no
+extra protocol round decides ownership, the key does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..messages.request import ClientRequest, EncryptedBody
+from ..statemachine.interface import Operation
+from .partitioner import DEFAULT_SHARD, Partitioner
+
+#: extracts the routing key from an operation (None = keyless)
+KeyExtractor = Callable[[Operation], Optional[str]]
+
+
+def _no_key(_: Operation) -> Optional[str]:
+    return None
+
+
+class ShardRouter:
+    """Deterministic request-to-shard mapping."""
+
+    def __init__(self, partitioner: Partitioner,
+                 key_extractor: Optional[KeyExtractor] = None) -> None:
+        self.partitioner = partitioner
+        self.key_extractor: KeyExtractor = key_extractor or _no_key
+
+    @property
+    def num_shards(self) -> int:
+        return self.partitioner.num_shards
+
+    def shard_of_operation(self, operation: Operation) -> int:
+        return self.partitioner.shard_of_key(self.key_extractor(operation))
+
+    def shard_of_request(self, request: ClientRequest) -> int:
+        """Shard owning a client request.
+
+        Encrypted request bodies (privacy-firewall deployments) hide the key
+        from the router; the configuration layer forbids combining sharding
+        with the firewall, so an encrypted body here is a protocol violation
+        and routes to the default shard rather than crashing the router.
+        """
+        operation = request.operation
+        if isinstance(operation, EncryptedBody):
+            return DEFAULT_SHARD
+        return self.shard_of_operation(operation)
+
+    def shards_of_requests(self, requests: List[ClientRequest]) -> List[int]:
+        """Distinct owning shards of a batch's requests, in ascending order."""
+        return sorted({self.shard_of_request(request) for request in requests})

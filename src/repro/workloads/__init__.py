@@ -8,13 +8,22 @@
   against the NFS service (Figures 6 and 7).
 """
 
-from .microbenchmark import LatencyResult, run_latency_benchmark
+from .microbenchmark import (
+    LatencyResult,
+    ShardWorkloadResult,
+    multishard_operations,
+    run_latency_benchmark,
+    run_multishard_workload,
+)
 from .open_loop import OpenLoopResult, run_open_loop
 from .andrew import AndrewResult, AndrewScale, andrew_phase_operations, run_andrew
 
 __all__ = [
     "LatencyResult",
+    "ShardWorkloadResult",
+    "multishard_operations",
     "run_latency_benchmark",
+    "run_multishard_workload",
     "OpenLoopResult",
     "run_open_loop",
     "AndrewResult",

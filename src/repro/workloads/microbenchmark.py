@@ -1,19 +1,29 @@
-"""Null-server latency microbenchmark (Figure 3 of the paper).
+"""Closed-loop microbenchmarks.
 
-The benchmark issues a sequence of null-server requests with a given
-request/reply size from a single closed-loop client and reports the mean and
-percentile latencies.  The paper runs 10 rounds of 200 requests for each of
-three size combinations (40/40, 40/4096, 4096/40 bytes) and five system
-configurations; :func:`run_latency_benchmark` reproduces one cell of that
-matrix and the benchmark harness sweeps the rest.
+* :func:`run_latency_benchmark` -- the null-server latency benchmark of
+  Figure 3: a single closed-loop client issues requests of a given
+  request/reply size and the mean/percentile latencies are reported.  The
+  paper runs 10 rounds of 200 requests for each of three size combinations
+  (40/40, 40/4096, 4096/40 bytes) and five system configurations; the
+  benchmark harness sweeps the matrix.
+* :func:`run_multishard_workload` -- a key-value workload for the sharded
+  architecture (``repro.sharding``): many closed-loop clients issue put/get
+  operations over a keyspace drawn uniformly or with a skewed (Zipf-like)
+  popularity distribution, and the aggregate throughput over virtual time is
+  reported.  Sweeping the shard count with this workload is how
+  ``benchmarks/bench_shard_scaling.py`` demonstrates that execution capacity
+  scales horizontally behind a fixed agreement cluster.
 """
 
 from __future__ import annotations
 
+import random
 import statistics
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..apps.kvstore import get as kv_get
+from ..apps.kvstore import put as kv_put
 from ..apps.null_service import NullService, null_operation
 from ..core.system import SimulatedSystem
 
@@ -67,4 +77,108 @@ def run_latency_benchmark(system: SimulatedSystem, *, label: str,
         p95_ms=latencies[min(len(latencies) - 1, int(0.95 * len(latencies)))],
         min_ms=latencies[0],
         max_ms=latencies[-1],
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Multi-shard key-value workload.
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ShardWorkloadResult:
+    """Aggregate statistics of one multi-shard key-value run."""
+
+    label: str
+    distribution: str
+    requests: int
+    completed: int
+    elapsed_ms: float
+    throughput_rps: float
+    mean_latency_ms: float
+    p95_latency_ms: float
+    requests_by_shard: List[int]
+
+    def row(self) -> str:
+        shards = "/".join(str(count) for count in self.requests_by_shard)
+        return (f"{self.label:<22} {self.distribution:<8} {self.completed:>6} "
+                f"{self.throughput_rps:>10.1f} {self.mean_latency_ms:>9.2f} "
+                f"{self.p95_latency_ms:>9.2f}   [{shards}]")
+
+
+def multishard_operations(num_requests: int, *, key_space: int = 64,
+                          distribution: str = "uniform", skew: float = 1.1,
+                          write_fraction: float = 0.5, value_size: int = 32,
+                          seed: int = 0) -> List:
+    """Generate a put/get operation mix over ``key_space`` keys.
+
+    ``distribution`` is ``"uniform"`` or ``"skewed"``; the skewed variant
+    draws keys from a Zipf-like power law with exponent ``skew`` (popular
+    keys concentrate on whichever shard owns them -- the worst case for
+    sharding).  The generator is seeded, so the same arguments always produce
+    the same operation sequence on every run.
+    """
+    if distribution not in ("uniform", "skewed"):
+        raise ValueError(f"unknown distribution {distribution!r}")
+    rng = random.Random(seed)
+    if distribution == "skewed":
+        weights = [1.0 / (rank + 1) ** skew for rank in range(key_space)]
+    else:
+        weights = None
+    indices = rng.choices(range(key_space), weights=weights, k=num_requests)
+    operations = []
+    for index in indices:
+        key = f"key-{index:05d}"
+        if rng.random() < write_fraction:
+            operations.append(kv_put(key, "v" * value_size))
+        else:
+            operations.append(kv_get(key))
+    return operations
+
+
+def run_multishard_workload(system: SimulatedSystem, *, label: str = "",
+                            num_requests: int = 200, key_space: int = 64,
+                            distribution: str = "uniform", skew: float = 1.1,
+                            write_fraction: float = 0.5, value_size: int = 32,
+                            seed: int = 0,
+                            timeout_ms: float = 600_000.0) -> ShardWorkloadResult:
+    """Drive a key-value system with a closed-loop multi-client workload.
+
+    The operations are spread round-robin over every client of ``system``;
+    each correct client keeps one request outstanding and queues the rest, so
+    the aggregate concurrency equals the client population.  Throughput is
+    measured over the virtual time from first submission to last completion.
+
+    Works against any key-value deployment (:class:`ShardedSystem` or the
+    unsharded baselines), which is what makes shard-count sweeps
+    apples-to-apples.
+    """
+    operations = multishard_operations(
+        num_requests, key_space=key_space, distribution=distribution, skew=skew,
+        write_fraction=write_fraction, value_size=value_size, seed=seed)
+    num_clients = len(system.clients)
+    before_completed = system.total_completed()
+    before_latencies = len(system.all_latencies_ms())
+    start_ms = system.now
+    for i, operation in enumerate(operations):
+        system.submit(operation, client_index=i % num_clients)
+    system.run_until(
+        lambda: system.total_completed() >= before_completed + len(operations),
+        timeout_ms, description=f"{len(operations)} workload completions")
+    elapsed_ms = max(system.now - start_ms, 1e-9)
+    latencies = sorted(system.all_latencies_ms()[before_latencies:])
+    by_shard = getattr(system, "requests_executed_by_shard", None)
+    requests_by_shard = list(by_shard()) if by_shard is not None else [
+        system.total_requests_executed()]
+    return ShardWorkloadResult(
+        label=label,
+        distribution=distribution,
+        requests=len(operations),
+        completed=system.total_completed() - before_completed,
+        elapsed_ms=elapsed_ms,
+        throughput_rps=1000.0 * (system.total_completed() - before_completed) / elapsed_ms,
+        mean_latency_ms=statistics.fmean(latencies) if latencies else 0.0,
+        p95_latency_ms=(latencies[min(len(latencies) - 1, int(0.95 * len(latencies)))]
+                        if latencies else 0.0),
+        requests_by_shard=requests_by_shard,
     )

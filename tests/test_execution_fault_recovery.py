@@ -1,0 +1,83 @@
+"""Fault-injection coverage for execution-cluster recovery (Section 3.3).
+
+The existing recovery tests assert that a lagging replica converges; these
+assert *how*: a replica that misses more than a checkpoint interval's worth
+of traffic must catch up through the state-transfer path
+(``ExecutionNode.handle_state_transfer``), not by replaying batches its
+peers have already garbage-collected, and the bounded per-sequence reply
+cache (``_trim_reply_cache``) must keep serving correct replies across the
+recovery.
+"""
+
+from conftest import make_config
+from repro.apps.counter import CounterService, increment, read_counter
+from repro.apps.kvstore import KeyValueStore, get, put
+from repro.core import SeparatedSystem
+
+
+class TestStateTransferPath:
+    def test_crash_mid_run_recovers_through_state_transfer(self):
+        """Crash an execution node mid-run for > checkpoint_interval requests:
+        it must observe at least one state transfer and converge to its peers'
+        application state."""
+        config = make_config(checkpoint_interval=4, pipeline_depth=8)
+        system = SeparatedSystem(config, KeyValueStore, seed=71)
+        system.invoke(put("warm", 0))
+        lagging = system.execution_nodes[1]
+        lagging.crash()
+        # Miss two full checkpoint intervals so peers have a stable checkpoint
+        # strictly newer than the crash point.
+        for i in range(9):
+            system.invoke(put(f"key{i}", i))
+        lagging.recover()
+        system.invoke(put("after", 1))
+        system.run_until(
+            lambda: lagging.max_executed >= system.execution_nodes[0].max_executed,
+            timeout_ms=30_000.0, description="recovered replica catches up")
+        assert lagging.state_transfers > 0
+        assert lagging.app.checkpoint() == system.execution_nodes[0].app.checkpoint()
+
+    def test_post_recovery_replies_match_peers(self):
+        """After recovery the node participates in new quorums and its reply
+        table matches what the clients actually observed."""
+        config = make_config(checkpoint_interval=4)
+        system = SeparatedSystem(config, CounterService, seed=72)
+        lagging = system.execution_nodes[2]
+        lagging.crash()
+        for _ in range(9):
+            system.invoke(increment(1))
+        lagging.recover()
+        system.invoke(increment(1))
+        system.run_until(
+            lambda: lagging.max_executed >= system.execution_nodes[0].max_executed,
+            timeout_ms=30_000.0, description="recovered replica catches up")
+        assert lagging.state_transfers > 0
+        record = system.invoke(read_counter())
+        assert record.result.value == 10
+        system.run(100.0)
+        # The recovered node's last reply to client 0 matches the reply the
+        # client accepted (same timestamp, same result).
+        client = system.clients[0].node_id
+        recovered_reply = lagging.reply_table[client]
+        peer_reply = system.execution_nodes[0].reply_table[client]
+        assert recovered_reply.timestamp == peer_reply.timestamp
+        assert recovered_reply.result.value == peer_reply.result.value
+
+    def test_reply_cache_stays_bounded_across_recovery(self):
+        """The per-sequence reply cache is trimmed to the pipeline window even
+        while the node is absorbing a state transfer and replaying batches."""
+        config = make_config(checkpoint_interval=4, pipeline_depth=4)
+        system = SeparatedSystem(config, CounterService, seed=73)
+        lagging = system.execution_nodes[0]
+        lagging.crash()
+        for _ in range(12):
+            system.invoke(increment(1))
+        lagging.recover()
+        for _ in range(8):
+            system.invoke(increment(1))
+        system.run_until(
+            lambda: lagging.max_executed >= system.execution_nodes[1].max_executed,
+            timeout_ms=30_000.0, description="recovered replica catches up")
+        assert lagging.state_transfers > 0
+        for node in system.execution_nodes:
+            assert len(node.replies_by_seq) <= 2 * config.pipeline_depth + 1
