@@ -9,28 +9,121 @@ The :class:`Batcher` holds request certificates that have not yet been
 assigned to a batch.  The primary drains it with :meth:`take` when either a
 full bundle is available or the batch timeout expires with at least one
 pending request.  Duplicate requests (same client and timestamp) are folded.
+
+The bundle size is supplied by a controller: :class:`StaticBundleController`
+reproduces the paper's fixed ``bundle_size`` (swept by Figure 5), and
+:class:`AdaptiveBundleController` replaces it with AIMD on queue depth --
+grow the bundle additively while draining a batch leaves backlog behind,
+shrink it multiplicatively when a batch-timeout fire finds less than a full
+bundle waiting.  The controller only reacts to take-time queue depth, which
+is a deterministic function of the simulated trajectory, so adaptive runs
+are exactly reproducible for a given seed.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..config import BatchingConfig, SystemConfig
 from ..crypto.certificate import Certificate
 from ..messages.request import ClientRequest
 from ..util.ids import NodeId
 
 
-class Batcher:
-    """FIFO of pending request certificates with duplicate suppression."""
+class StaticBundleController:
+    """Fixed bundle size (the paper's ``bundle_size`` configuration)."""
 
     def __init__(self, bundle_size: int) -> None:
         if bundle_size < 1:
             raise ValueError("bundle_size must be at least 1")
-        self.bundle_size = bundle_size
+        self._size = bundle_size
+
+    @property
+    def current(self) -> int:
+        return self._size
+
+    def on_take(self, backlog_before: int, taken: int, in_flight: int = 0) -> None:
+        return None
+
+
+class AdaptiveBundleController:
+    """AIMD bundle sizing on queue depth.
+
+    The backlog a saturated system builds up lives in two queues: requests
+    still waiting in the batcher, and requests already ordered but not yet
+    answered by the execution cluster (with closed-loop clients the batcher
+    drains on every arrival, so the pipeline is where congestion shows).
+    The controller watches both at every take; ``in_flight`` is the number
+    of *requests* ordered but unanswered at take time, so
+    ``in_flight + taken`` is the concurrent demand the system is carrying --
+    the bandwidth-delay product the bundle size should track.
+
+    * **Additive increase**: if draining a bundle leaves requests queued
+      (``backlog_before - taken > 0``), or the concurrent demand exceeds
+      the current bundle size, the next bundle grows by ``increase``
+      (amortising agreement and reply certificates over more requests), up
+      to ``max_bundle``.  Growth stops exactly when one bundle can absorb
+      everything in flight -- more waiting would add latency for nothing.
+    * **Multiplicative decrease**: if the flush timer fires with less than
+      *half* a bundle waiting while the pipeline is idle, the load is
+      genuinely light and the size shrinks by ``decrease_factor`` toward
+      ``min_bundle``.  (A nearly-full timer-forced take is the normal
+      gathering step of a saturated closed loop; shrinking on it would
+      collapse the bundle just when amortisation pays most.)
+
+    The batch timeout itself is untouched, so a pending request is never
+    held longer than ``timers.batch_timeout_ms`` regardless of bundle size;
+    and at ``min_bundle == 1`` under light load every take is a full bundle
+    taken at arrival time, so the timeout never even starts to run.
+    """
+
+    def __init__(self, config: BatchingConfig) -> None:
+        config.validate()
+        self.config = config
+        self._size = float(config.min_bundle)
+        self.increases = 0
+        self.decreases = 0
+
+    @property
+    def current(self) -> int:
+        return max(self.config.min_bundle, int(self._size))
+
+    def on_take(self, backlog_before: int, taken: int, in_flight: int = 0) -> None:
+        congested = in_flight >= self.config.congestion_requests
+        if backlog_before - taken > 0 or in_flight + taken > self.current:
+            self._size = min(float(self.config.max_bundle),
+                             self._size + self.config.increase)
+            self.increases += 1
+        elif taken * 2 <= self.current and not congested:
+            self._size = max(float(self.config.min_bundle),
+                             self._size * self.config.decrease_factor)
+            self.decreases += 1
+
+
+def make_bundle_controller(config: SystemConfig):
+    """Build the bundle-size controller selected by ``config.batching``."""
+    if config.batching.mode == "adaptive":
+        return AdaptiveBundleController(config.batching)
+    return StaticBundleController(config.bundle_size)
+
+
+class Batcher:
+    """FIFO of pending request certificates with duplicate suppression."""
+
+    def __init__(self, bundle_size: int = 1, controller=None) -> None:
+        #: the controller is the single owner of the bundle size;
+        #: ``bundle_size`` only seeds the default static controller.
+        self.controller = controller or StaticBundleController(bundle_size)
         self._queue: List[Certificate] = []
         self._keys: Dict[Tuple[NodeId, int], int] = {}
         self.total_enqueued = 0
         self.total_batches = 0
+        self.largest_batch = 0
+
+    @property
+    def bundle_size(self) -> int:
+        """The controller's current bundle size."""
+        return self.controller.current
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -59,15 +152,24 @@ class Batcher:
     def has_work(self) -> bool:
         return bool(self._queue)
 
-    def take(self, limit: Optional[int] = None) -> List[Certificate]:
-        """Remove and return up to ``limit`` (default ``bundle_size``) requests."""
-        count = min(len(self._queue), limit if limit is not None else self.bundle_size)
+    def take(self, limit: Optional[int] = None,
+             in_flight: int = 0) -> List[Certificate]:
+        """Remove and return up to ``limit`` (default ``bundle_size``) requests.
+
+        ``in_flight`` is the number of batches the caller has sent but not
+        yet seen answered -- the congestion signal the adaptive controller
+        uses alongside the queue depth.
+        """
+        backlog = len(self._queue)
+        count = min(backlog, limit if limit is not None else self.bundle_size)
         if count == 0:
             return []
         batch = self._queue[:count]
         self._queue = self._queue[count:]
         self._keys = {self._key(cert): i for i, cert in enumerate(self._queue)}
         self.total_batches += 1
+        self.largest_batch = max(self.largest_batch, count)
+        self.controller.on_take(backlog, count, in_flight)
         return batch
 
     def remove(self, client: NodeId, timestamp: int) -> None:

@@ -48,7 +48,7 @@ from ..sim.process import Process
 from ..sim.scheduler import Scheduler, Timer
 from ..statemachine.nondet import NonDeterminismResolver, NonDetInput
 from ..util.ids import NodeId
-from .batching import Batcher
+from .batching import Batcher, make_bundle_controller
 from .local import LocalExecutor, RetryOutcome
 from .log import AgreementLog, LogEntry
 
@@ -70,14 +70,16 @@ class AgreementReplica(Process):
         self.cert_verifiers = list(cert_verifiers or agreement_ids)
         self.crypto = CryptoProvider(node_id, keystore, config.crypto,
                                      charge=self.charge,
-                                     record=self.stats.record_crypto)
+                                     record=self.stats.record_crypto,
+                                     perf=config.perf)
         self.index = self.agreement_ids.index(node_id)
         self.f = config.f
 
         self.view = 0
         self.next_seq = 1
         self.log = AgreementLog(config.checkpoint_interval)
-        self.batcher = Batcher(config.bundle_size)
+        self.batcher = Batcher(controller=make_bundle_controller(config))
+        self._adaptive_batching = config.batching.mode == "adaptive"
         self.nondet = NonDeterminismResolver()
 
         #: highest timestamp ordered (assigned a sequence number) per client
@@ -85,6 +87,12 @@ class AgreementReplica(Process):
         #: client requests whose delivery we are waiting for (liveness timer)
         self._request_deadlines: Dict[Tuple[NodeId, int], Timer] = {}
         self._batch_timer: Optional[Timer] = None
+        #: request count per own-proposed batch still awaiting its reply
+        #: (the adaptive-batching congestion signal)
+        self._inflight_batch_sizes: Dict[int, int] = {}
+        #: absolute bound on the current idle-gather window (None when no
+        #: idle gather is in progress)
+        self._gather_deadline: Optional[float] = None
 
         # View change state.
         self._view_change_votes: Dict[int, Dict[NodeId, ViewChange]] = {}
@@ -214,13 +222,50 @@ class AgreementReplica(Process):
             return
         while self.batcher.has_full_bundle() and self._can_start(self.next_seq):
             self._make_batch()
-        if self.batcher.has_work() and (self._batch_timer is None
-                                        or not self._batch_timer.active):
-            self._batch_timer = self.set_timer(
-                self.config.timers.batch_timeout_ms,
-                self._on_batch_timeout,
-                label=f"{self.node_id}:batch-timeout",
-            )
+        if self.batcher.has_work():
+            timeout = self.config.timers.batch_timeout_ms
+            if (self._adaptive_batching and self._can_start(self.next_seq)
+                    and self._batches_in_flight() <= 1):
+                # Group commit with double buffering: at most one batch is
+                # awaiting execution, so a long bundle-fill wait would idle
+                # the execution cluster -- the next bundle's agreement round
+                # should overlap the current bundle's execution.  Gather with
+                # a debounced quiet-gap window: each arrival extends the
+                # flush by gather_ms so the whole burst of client
+                # re-submissions following a reply lands in one bundle, and
+                # the batch-timeout bound caps the total gather time.
+                if self._gather_deadline is None:
+                    self._gather_deadline = self.now + timeout
+                timeout = min(max(self._gather_deadline - self.now, 0.0),
+                              self.config.batching.gather_ms)
+                self._cancel_batch_timer()
+            if self._batch_timer is None or not self._batch_timer.active:
+                self._batch_timer = self.set_timer(
+                    timeout, self._on_batch_timeout,
+                    label=f"{self.node_id}:batch-timeout")
+            elif self._batch_timer.deadline > self.now + timeout + 1e-9:
+                # An earlier (longer) flush deadline is superseded.
+                self._batch_timer.cancel()
+                self._batch_timer = self.set_timer(
+                    timeout, self._on_batch_timeout,
+                    label=f"{self.node_id}:batch-timeout")
+        else:
+            # The queue drained through full-bundle takes: a timer armed for
+            # an earlier (now ordered) request must not linger, or it fires
+            # mid-gathering of the *next* bundle and flushes it prematurely.
+            self._cancel_batch_timer()
+            self._gather_deadline = None
+
+    def _cancel_batch_timer(self) -> None:
+        if self._batch_timer is not None and self._batch_timer.active:
+            self._batch_timer.cancel()
+
+    def on_pipeline_progress(self) -> None:
+        """Called by the local state machine when a reply certificate frees
+        pipeline capacity: the primary immediately considers a new batch (the
+        group-commit trigger for adaptive bundling)."""
+        if self.is_primary and not self._view_changing:
+            self.maybe_make_batch()
 
     def _on_batch_timeout(self) -> None:
         if not self.is_primary or self._view_changing:
@@ -243,12 +288,32 @@ class AgreementReplica(Process):
         floor = ready if ready is not None else self.log.last_delivered_seq
         return seq <= floor + self.config.pipeline_depth
 
+    def _requests_in_flight(self) -> int:
+        """Requests assigned a sequence number but not yet answered by
+        execution -- the pipeline-congestion signal for adaptive bundle
+        sizing (the demand one bundle could have absorbed)."""
+        ready = self.local.highest_ready_seq()
+        floor = ready if ready is not None else self.log.last_delivered_seq
+        for seq in [s for s in self._inflight_batch_sizes if s <= floor]:
+            del self._inflight_batch_sizes[seq]
+        return sum(self._inflight_batch_sizes.values())
+
+    def _batches_in_flight(self) -> int:
+        """Batches assigned a sequence number but not yet answered."""
+        self._requests_in_flight()  # prune answered entries
+        return len(self._inflight_batch_sizes)
+
     def _make_batch(self) -> None:
-        requests = self.batcher.take()
+        requests = self.batcher.take(in_flight=self._requests_in_flight())
         if not requests:
             return
+        # Any take ends the current idle-gather episode; the next gather
+        # starts a fresh batch-timeout bound (leaving the old deadline in
+        # place would shrink later gather windows to zero once it passed).
+        self._gather_deadline = None
         seq = self.next_seq
         self.next_seq += 1
+        self._inflight_batch_sizes[seq] = len(requests)
         batch_digest = self._batch_digest(requests)
         nondet = self.nondet.propose(self.now, seed=batch_digest)
         pre_prepare = PrePrepare(view=self.view, seq=seq, batch_digest=batch_digest,

@@ -167,6 +167,99 @@ class ShardingConfig:
 
 
 @dataclass(frozen=True)
+class PerfConfig:
+    """Hot-path fast-path switches (the verification/encoding fast path).
+
+    All switches default to on; the benchmark harness
+    (``benchmarks/bench_hotpath.py``) turns them off to measure the
+    before/after delta against the unoptimised protocol.
+
+    Parameters
+    ----------
+    verified_cert_cache:
+        Per-node memoisation of *successful* verifications
+        (:class:`repro.crypto.cache.VerifiedCertificateCache`).  Virtual-time
+        crypto charges apply only on cache misses; failures are never cached,
+        so a Byzantine forgery can never poison a later legitimate check.
+    cert_cache_capacity:
+        Bound on the number of memoised verification facts per node.
+    digest_memo:
+        Per-node charge-once semantics for payload digests: the first time a
+        node hashes a given message object it pays ``digest_ms(wire_size)``,
+        later touches of the same object by the same node are free.
+    shard_verify_owned_only:
+        Shard execution replicas verify client authenticators only for the
+        requests their own shard owns.  Safe because the agreement
+        certificate (``2f + 1`` commits) proves that ``f + 1`` correct
+        agreement replicas verified *every* request certificate in the
+        batch, and the batch digest binds the non-owned payloads.
+    """
+
+    verified_cert_cache: bool = True
+    cert_cache_capacity: int = 4096
+    digest_memo: bool = True
+    shard_verify_owned_only: bool = True
+
+    def validate(self) -> None:
+        if self.cert_cache_capacity < 1:
+            raise ConfigurationError("cert_cache_capacity must be at least 1")
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Request-bundling policy for the agreement cluster.
+
+    ``mode="static"`` reproduces the paper's fixed bundle size
+    (:attr:`SystemConfig.bundle_size`, swept by Figure 5).  ``mode="adaptive"``
+    replaces it with an AIMD controller on queue depth: every time the
+    primary drains a bundle and backlog remains, the bundle size grows
+    additively (by ``increase``) up to ``max_bundle``; every time the queue
+    drains with a partial bundle (a batch-timeout fire under light load) it
+    shrinks multiplicatively (by ``decrease_factor``) toward ``min_bundle``.
+    The batch timeout is unchanged in either mode, so adaptive bundling can
+    never hold a request longer than ``timers.batch_timeout_ms``.
+    """
+
+    mode: str = "static"
+    min_bundle: int = 1
+    max_bundle: int = 64
+    increase: int = 1
+    decrease_factor: float = 0.5
+    #: requests in flight (ordered but unanswered) at or above which the
+    #: system counts as congested -- with closed-loop clients the backlog
+    #: accumulates *in the pipeline*, not in the batcher, so the controller
+    #: must watch both.
+    congestion_requests: int = 1
+    #: quiet-gap flush window (ms) used instead of ``timers.batch_timeout_ms``
+    #: when at most one batch is in flight: long enough to cover the
+    #: reply-to-resubmission round trip of a closed-loop client cohort, and
+    #: each arrival during the gather pushes the flush out by another
+    #: ``gather_ms`` (a debounce that captures the whole burst), bounded by
+    #: ``timers.batch_timeout_ms`` from the start of the gather.  At
+    #: ``min_bundle`` every take happens at arrival time and this window is
+    #: never armed, so light-load latency is untouched.
+    gather_ms: float = 6.0
+
+    def validate(self) -> None:
+        if self.mode not in ("static", "adaptive"):
+            raise ConfigurationError(
+                f"batching mode must be 'static' or 'adaptive', got {self.mode!r}"
+            )
+        if self.min_bundle < 1:
+            raise ConfigurationError("min_bundle must be at least 1")
+        if self.max_bundle < self.min_bundle:
+            raise ConfigurationError("max_bundle must be >= min_bundle")
+        if self.increase < 1:
+            raise ConfigurationError("increase must be at least 1")
+        if not 0.0 < self.decrease_factor < 1.0:
+            raise ConfigurationError("decrease_factor must be in (0, 1)")
+        if self.congestion_requests < 1:
+            raise ConfigurationError("congestion_requests must be at least 1")
+        if self.gather_ms <= 0:
+            raise ConfigurationError("gather_ms must be positive")
+
+
+@dataclass(frozen=True)
 class TimerConfig:
     """Retransmission and view-change timers (virtual milliseconds)."""
 
@@ -229,6 +322,8 @@ class SystemConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     timers: TimerConfig = field(default_factory=TimerConfig)
     sharding: ShardingConfig = field(default_factory=ShardingConfig)
+    perf: PerfConfig = field(default_factory=PerfConfig)
+    batching: BatchingConfig = field(default_factory=BatchingConfig)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -262,6 +357,8 @@ class SystemConfig:
         self.network.validate()
         self.timers.validate()
         self.sharding.validate()
+        self.perf.validate()
+        self.batching.validate()
 
     # ------------------------------------------------------------------ #
     # Cluster sizes (the paper's replication-cost arithmetic).

@@ -85,7 +85,8 @@ class ClientNode(Process):
         self.encrypt_requests = encrypt_requests
         self.crypto = CryptoProvider(node_id, keystore, config.crypto,
                                      charge=self.charge,
-                                     record=self.stats.record_crypto)
+                                     record=self.stats.record_crypto,
+                                     perf=config.perf)
 
         self._next_timestamp = 1
         self._pending: Optional[_PendingRequest] = None

@@ -83,7 +83,8 @@ class ExecutionNode(Process):
         self.encrypt_replies = encrypt_replies
         self.crypto = CryptoProvider(node_id, keystore, config.crypto,
                                      charge=self.charge,
-                                     record=self.stats.record_crypto)
+                                     record=self.stats.record_crypto,
+                                     perf=config.perf)
 
         self.max_executed = 0
         self.pending: Dict[int, OrderedBatch] = {}

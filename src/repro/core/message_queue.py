@@ -226,9 +226,12 @@ class MessageQueue(LocalExecutor):
                     payload=body, scheme=certificate.scheme,
                     threshold_group=certificate.threshold_group or default_group))
                 collectors[key] = collector
-            collector.certificate.merge(certificate)
+            # Once assembled the certificate has been forwarded inside reply
+            # messages, which memoise their wire forms; merging further
+            # partials would mutate a sent certificate (and buys nothing).
             if collector.done:
                 return None
+            collector.certificate.merge(certificate)
             valid = self.crypto.valid_signers(collector.certificate, universe)
             if len(valid) < self.config.reply_quorum:
                 return None
@@ -246,9 +249,9 @@ class MessageQueue(LocalExecutor):
             collector = _ReplyCollector(body=body, certificate=Certificate(
                 payload=body, scheme=certificate.scheme))
             collectors[key] = collector
-        collector.certificate.merge(certificate)
         if collector.done:
             return None
+        collector.certificate.merge(certificate)
         valid = self.crypto.valid_signers(collector.certificate, universe)
         if len(valid) < self.config.reply_quorum:
             return None
@@ -278,3 +281,11 @@ class MessageQueue(LocalExecutor):
                     self.cache[reply.client] = client_reply
             self.owner.send(reply.client, client_reply)
             self.replies_forwarded += 1
+        self._notify_pipeline_progress()
+
+    def _notify_pipeline_progress(self) -> None:
+        """Tell the hosting replica that pipeline capacity was freed (the
+        group-commit trigger for adaptive bundling)."""
+        hook = getattr(self.owner, "on_pipeline_progress", None)
+        if hook is not None:
+            hook()

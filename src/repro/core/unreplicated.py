@@ -39,7 +39,8 @@ class UnreplicatedServer(Process):
         self.client_ids = list(client_ids)
         self.crypto = CryptoProvider(node_id, keystore, config.crypto,
                                      charge=self.charge,
-                                     record=self.stats.record_crypto)
+                                     record=self.stats.record_crypto,
+                                     perf=config.perf)
         self.next_seq = 1
         self.reply_cache: Dict[NodeId, ClientReply] = {}
         self.requests_executed = 0

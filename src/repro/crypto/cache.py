@@ -1,0 +1,84 @@
+"""Per-node memoisation of successful verifications.
+
+The separated architecture verifies the same authenticators repeatedly: an
+agreement node re-checks a reply collector's accumulated authenticators on
+every arriving partial, retransmitted request certificates carry bit-identical
+MAC vectors, and gap-fetch / retransmission paths re-validate batches whose
+certificates were already accepted.  The
+:class:`VerifiedCertificateCache` removes that repeated work *per node*:
+each :class:`~repro.crypto.provider.CryptoProvider` owns one cache, so no
+node ever benefits from another node's verification (a node can only trust
+hashes it computed and MACs it checked itself).
+
+**Safety argument.**  Only *successes* are memoised, keyed by the full
+SHA-256 payload digest plus the verification parameters:
+
+* a per-authenticator fact ``(scheme, signer, payload_digest[, group])``
+  records "``signer`` vouches for ``payload_digest``".  Once that statement
+  has been established by one valid authenticator it is true forever, so a
+  later authenticator carrying the same ``(signer, digest)`` claim may be
+  accepted without re-checking its token: it asserts a fact this node has
+  already proven.  An adversary cannot use the cache to make a *new*
+  statement -- any forged authenticator for a digest/signer pair that was
+  never legitimately verified misses the cache and fails verification
+  exactly as it would without the cache.
+* a per-certificate fact ``(payload_digest, scheme, signers, required,
+  universe)`` records "at least ``required`` of ``signers`` (restricted to
+  ``universe``) vouch for ``payload_digest``".
+* a combined-threshold fact ``(group, payload_digest, signature)`` includes
+  the signature bytes themselves, so a forged group signature can never hit.
+
+Failures are **never cached** -- neither negatively (which would let a
+Byzantine sender poison the cache and suppress a later legitimate
+certificate for the same statement) nor as a success.  Byzantine and
+correct senders therefore see identical cache behaviour.
+
+Virtual-time crypto costs are charged only on misses, which is what makes
+the Figure-4 style cost-model benchmarks show the saving; hits are recorded
+under a separate ``*_cached`` operation counter so benchmarks and tests can
+account for them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Tuple
+
+#: a memoised verification fact (see module docstring for the key shapes)
+CacheKey = Tuple[Hashable, ...]
+
+
+class VerifiedCertificateCache:
+    """Bounded LRU set of verification facts proven by one node."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._facts: "OrderedDict[CacheKey, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def seen(self, key: CacheKey) -> bool:
+        """Whether ``key`` is a previously proven fact (counts hit/miss)."""
+        if key in self._facts:
+            self._facts.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def add(self, key: CacheKey) -> None:
+        """Record a *successful* verification (failures must never be added)."""
+        self._facts[key] = None
+        self._facts.move_to_end(key)
+        while len(self._facts) > self.capacity:
+            self._facts.popitem(last=False)
+
+    def clear(self) -> None:
+        self._facts.clear()
+        self.hits = 0
+        self.misses = 0

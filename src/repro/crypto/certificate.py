@@ -22,7 +22,7 @@ from ..errors import CertificateError
 from ..util.ids import NodeId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Authenticator:
     """One node's evidence that it vouches for a payload digest.
 

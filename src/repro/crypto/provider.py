@@ -20,9 +20,12 @@ import hashlib
 import hmac
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
-from ..config import AuthenticationScheme, CryptoCosts
+from ..config import AuthenticationScheme, CryptoCosts, PerfConfig
 from ..errors import CertificateError, CryptoError, VerificationError
+from ..net.message import Message
 from ..util.ids import NodeId
+from ..util.wirecache import WIRE_CACHE
+from .cache import VerifiedCertificateCache
 from .certificate import Authenticator, Certificate
 from .digest import digest
 from .keys import Keystore
@@ -49,10 +52,18 @@ class CryptoProvider:
     def __init__(self, node: NodeId, keystore: Keystore,
                  costs: Optional[CryptoCosts] = None,
                  charge: Optional[ChargeFn] = None,
-                 record: Optional[RecordFn] = None) -> None:
+                 record: Optional[RecordFn] = None,
+                 perf: Optional[PerfConfig] = None) -> None:
         self.node = node
         self.keystore = keystore
         self.costs = costs or CryptoCosts()
+        self.perf = perf or PerfConfig()
+        #: per-node memo of successful verifications (None when disabled);
+        #: never shared between nodes, so no node benefits from another
+        #: node's verification work.
+        self.cache: Optional[VerifiedCertificateCache] = (
+            VerifiedCertificateCache(self.perf.cert_cache_capacity)
+            if self.perf.verified_cert_cache else None)
         self._charge = charge or _noop_charge
         self._record = record or _noop_record
         keystore.register_node(node)
@@ -76,7 +87,26 @@ class CryptoProvider:
         return result
 
     def payload_digest(self, payload: Any) -> bytes:
-        """Digest of a message/payload, charging based on its wire size."""
+        """Digest of a message/payload, charging based on its wire size.
+
+        For protocol messages (immutable once sent) the digest is memoised in
+        the process-wide wire cache; with ``perf.digest_memo`` enabled the
+        virtual hashing cost is charged only the first time *this node*
+        touches the message -- later touches record ``digest_cached`` and
+        charge nothing, and other nodes still pay for their own first hash.
+        """
+        entry = WIRE_CACHE.entry_for(payload) if isinstance(payload, Message) else None
+        if entry is not None:
+            if entry.digest is None:
+                entry.materialise()
+            if self.perf.digest_memo:
+                if self.node.name in entry.charged:
+                    self._record("digest_cached")
+                    return entry.digest
+                entry.charged.add(self.node.name)
+            self._charge(self.costs.digest_ms(entry.size + payload.padding_bytes))
+            self._record("digest")
+            return entry.digest
         size = payload.wire_size() if hasattr(payload, "wire_size") else None
         return self.digest(payload if not hasattr(payload, "to_wire") else payload.to_wire(),
                            size_hint=size)
@@ -99,10 +129,19 @@ class CryptoProvider:
                              payload_digest=payload_digest, token=tokens)
 
     def verify_mac(self, payload: Any, authenticator: Authenticator) -> bool:
-        """Verify the MAC entry addressed to this node."""
+        """Verify the MAC entry addressed to this node.
+
+        A cache hit means this node previously proved that the same signer
+        vouches for the same payload digest; re-asserting a proven fact is
+        accepted without charging (see :mod:`repro.crypto.cache`).
+        """
         if authenticator.scheme is not AuthenticationScheme.MAC:
             return False
         payload_digest = self.payload_digest(payload)
+        key = ("mac", authenticator.signer, payload_digest)
+        if self.cache is not None and self.cache.seen(key):
+            self._record("mac_verify_cached")
+            return True
         if not authenticator.covers(payload_digest):
             return False
         token = authenticator.token or {}
@@ -113,7 +152,10 @@ class CryptoProvider:
         expected = _hmac(secret, payload_digest)
         self._charge(self.costs.mac_ms)
         self._record("mac_verify")
-        return hmac.compare_digest(entry, expected)
+        ok = hmac.compare_digest(entry, expected)
+        if ok and self.cache is not None:
+            self.cache.add(key)
+        return ok
 
     # ------------------------------------------------------------------ #
     # Public-key signatures (simulated).
@@ -134,6 +176,10 @@ class CryptoProvider:
         if authenticator.scheme is not AuthenticationScheme.SIGNATURE:
             return False
         payload_digest = self.payload_digest(payload)
+        cache_key = ("sig", authenticator.signer, payload_digest)
+        if self.cache is not None and self.cache.seen(cache_key):
+            self._record("signature_verify_cached")
+            return True
         if not authenticator.covers(payload_digest):
             return False
         try:
@@ -143,7 +189,10 @@ class CryptoProvider:
         expected = _hmac(key, b"sig:" + payload_digest)
         self._charge(self.costs.signature_verify_ms)
         self._record("signature_verify")
-        return hmac.compare_digest(authenticator.token, expected)
+        ok = hmac.compare_digest(authenticator.token, expected)
+        if ok and self.cache is not None:
+            self.cache.add(cache_key)
+        return ok
 
     # ------------------------------------------------------------------ #
     # Threshold signatures (simulated k-of-n).
@@ -169,12 +218,19 @@ class CryptoProvider:
         if authenticator.signer not in group.members:
             return False
         payload_digest = self.payload_digest(payload)
+        cache_key = ("share", group_name, authenticator.signer, payload_digest)
+        if self.cache is not None and self.cache.seen(cache_key):
+            self._record("threshold_share_verify_cached")
+            return True
         if not authenticator.covers(payload_digest):
             return False
         expected = _hmac(group.share_key(authenticator.signer), b"share:" + payload_digest)
         self._charge(self.costs.mac_ms)
         self._record("threshold_share_verify")
-        return hmac.compare_digest(authenticator.token, expected)
+        ok = hmac.compare_digest(authenticator.token, expected)
+        if ok and self.cache is not None:
+            self.cache.add(cache_key)
+        return ok
 
     def threshold_combine(self, payload: Any, group_name: str,
                           shares: Iterable[Authenticator]) -> bytes:
@@ -203,13 +259,24 @@ class CryptoProvider:
 
     def verify_threshold_signature(self, payload: Any, signature: bytes,
                                    group_name: str) -> bool:
-        """Verify a combined group signature over ``payload``."""
+        """Verify a combined group signature over ``payload``.
+
+        The cache key includes the signature bytes themselves, so a forged
+        group signature can never hit a fact proven for the genuine one.
+        """
         group = self.keystore.threshold_group(group_name)
         payload_digest = self.payload_digest(payload)
+        cache_key = ("tsig", group_name, payload_digest, bytes(signature))
+        if self.cache is not None and self.cache.seen(cache_key):
+            self._record("threshold_verify_cached")
+            return True
         expected = _hmac(group.group_key, b"combined:" + payload_digest)
         self._charge(self.costs.threshold_verify_ms)
         self._record("threshold_verify")
-        return hmac.compare_digest(signature, expected)
+        ok = hmac.compare_digest(signature, expected)
+        if ok and self.cache is not None:
+            self.cache.add(cache_key)
+        return ok
 
     # ------------------------------------------------------------------ #
     # Certificates.
@@ -275,7 +342,23 @@ class CryptoProvider:
                 certificate.payload, certificate.threshold_signature,
                 certificate.threshold_group,
             )
-        return len(self.valid_signers(certificate, universe)) >= required
+        cache_key = None
+        if self.cache is not None:
+            cache_key = (
+                "cert",
+                self.payload_digest(certificate.payload),
+                certificate.scheme.value,
+                frozenset(signer.name for signer in certificate.authenticators),
+                required,
+                None if universe is None else frozenset(n.name for n in universe),
+            )
+            if self.cache.seen(cache_key):
+                self._record("certificate_cached")
+                return True
+        ok = len(self.valid_signers(certificate, universe)) >= required
+        if ok and cache_key is not None:
+            self.cache.add(cache_key)
+        return ok
 
     def require_certificate(self, certificate: Certificate, required: int,
                             universe: Optional[Iterable[NodeId]] = None,

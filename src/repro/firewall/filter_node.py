@@ -64,7 +64,8 @@ class FilterNode(Process):
         self.is_top_row = is_top_row
         self.crypto = CryptoProvider(node_id, keystore, config.crypto,
                                      charge=self.charge,
-                                     record=self.stats.record_crypto)
+                                     record=self.stats.record_crypto,
+                                     perf=config.perf)
 
         self.max_n = 0
         #: state_n: None (absent), SEEN, or the full reply (body, certificate)
@@ -205,6 +206,11 @@ class FilterNode(Process):
                                     threshold_group=self.threshold_group)
             self._share_collectors[key] = collector
             self._share_bodies[key] = body
+        if collector.threshold_signature is not None:
+            # Already assembled (and sent, so its wire form is memoised):
+            # re-forward the completed certificate instead of mutating it.
+            return BatchReply(seq=message.seq, body=body, certificate=collector,
+                              sender=self.node_id)
         collector.merge(certificate)
         valid = self.crypto.valid_signers(collector, self.execution_ids)
         if len(valid) < self.config.reply_quorum:

@@ -25,7 +25,7 @@ from ..util.ids import NodeId, Role
 from .request import EncryptedBody
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplyBody(Message):
     """The per-request reply fields: ``(v, n, t, c, r)``.
 
@@ -66,7 +66,7 @@ class ReplyBody(Message):
         return isinstance(self.result, EncryptedBody)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchReplyBody(Message):
     """All replies for one batch; the payload the reply certificate covers.
 

@@ -78,7 +78,7 @@ class EncryptedBody:
         return f"<EncryptedBody {self.ciphertext_digest.hex()[:12]} size={self.size}>"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientRequest(Message):
     """``REQUEST`` message issued by a client.
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from ..util.encoding import canonical_encode, estimate_size
+from ..util.wirecache import WIRE_CACHE
 
 
 class Message:
@@ -24,6 +25,10 @@ class Message:
     default :meth:`to_wire` composes the type name with those fields so that
     two different message types never authenticate to the same bytes.
     """
+
+    #: subclasses declaring ``slots=True`` stay dict-free because the base
+    #: carries no instance state (wire facts are memoised externally by id)
+    __slots__ = ()
 
     #: extra bytes of payload not represented in the wire dict (e.g. modeled
     #: request/reply bodies whose size matters but whose content does not).
@@ -48,8 +53,19 @@ class Message:
         return canonical_encode(self.to_wire())
 
     def wire_size(self) -> int:
-        """Estimated size in bytes as transmitted on the network."""
-        return estimate_size(self.to_wire()) + self.padding_bytes
+        """Estimated size in bytes as transmitted on the network.
+
+        Messages are immutable once sent (certificates are only mutated
+        inside collectors before their first send), so the canonical
+        encoding length is memoised per object in the process-wide
+        :data:`~repro.util.wirecache.WIRE_CACHE`.
+        """
+        entry = WIRE_CACHE.entry_for(self)
+        if entry is None:
+            return estimate_size(self.to_wire()) + self.padding_bytes
+        if entry.size is None:
+            entry.materialise()
+        return entry.size + self.padding_bytes
 
 
 class CorruptedMessage(Message):

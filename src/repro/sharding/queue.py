@@ -235,3 +235,4 @@ class ShardRouterQueue(MessageQueue):
                     self.cache[reply.client] = client_reply
             self.owner.send(reply.client, client_reply)
             self.replies_forwarded += 1
+        self._notify_pipeline_progress()

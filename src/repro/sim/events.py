@@ -3,6 +3,15 @@
 Events are ordered by (time, sequence) so that events scheduled for the same
 virtual instant fire in the order they were scheduled, which keeps the
 simulation deterministic for a given seed.
+
+Cancellation uses the standard lazy-deletion trick (cancelled events stay in
+the heap and are skipped when popped), but the queue additionally maintains
+an O(1) live-event counter and *compacts* the heap whenever cancelled
+entries outnumber live ones: long-running simulations cancel one
+retransmission timer per answered batch, and without compaction those dead
+entries would accumulate and slow every push/pop by a growing log factor.
+Compaction preserves the (time, sequence) order keys, so rebuilding the heap
+never changes the firing order.
 """
 
 from __future__ import annotations
@@ -14,13 +23,18 @@ from typing import Callable, Optional
 
 from ..errors import SimulationError
 
+#: heaps smaller than this are never compacted (the rebuild would cost more
+#: than the dead entries ever could)
+_COMPACTION_MIN_SIZE = 64
 
-@dataclass(order=True)
+
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
-    ``cancelled`` events stay in the heap but are skipped when popped; this is
-    the standard lazy-deletion trick and is how timers are cancelled cheaply.
+    ``cancelled`` events stay in the heap but are skipped when popped; the
+    owning queue is notified so its live-event counter stays exact and it
+    can decide to compact.
     """
 
     time: float
@@ -28,10 +42,18 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: set by the scheduler when the callback runs (used by Timer.active)
+    fired: bool = field(compare=False, default=False)
+    #: the queue currently holding this event (None once popped)
+    queue: Optional["EventQueue"] = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the scheduler will skip it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.queue is not None:
+            self.queue._note_cancelled()
 
 
 class EventQueue:
@@ -40,9 +62,12 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0
+        self._cancelled_in_heap = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of live (non-cancelled) events -- O(1)."""
+        return self._live
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None
@@ -52,22 +77,53 @@ class EventQueue:
         if time < 0:
             raise SimulationError("cannot schedule an event before time zero")
         event = Event(time=time, sequence=next(self._counter),
-                      callback=callback, label=label)
+                      callback=callback, label=label, queue=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         """Pop the earliest non-cancelled event, or None if the queue is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            event.queue = None
             if not event.cancelled:
+                self._live -= 1
                 return event
+            self._cancelled_in_heap -= 1
         return None
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next live event without removing it."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap).queue = None
+            self._cancelled_in_heap -= 1
         if not self._heap:
             return None
         return self._heap[0].time
+
+    # ------------------------------------------------------------------ #
+    # Lazy-deletion accounting.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def heap_size(self) -> int:
+        """Total heap entries including lazily-cancelled ones (for tests)."""
+        return len(self._heap)
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` while the event is still heaped."""
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        if (len(self._heap) >= _COMPACTION_MIN_SIZE
+                and self._cancelled_in_heap * 2 > len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without its cancelled entries."""
+        for event in self._heap:
+            if event.cancelled:
+                event.queue = None
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0

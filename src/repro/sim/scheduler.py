@@ -32,7 +32,7 @@ class Timer:
     def active(self) -> bool:
         """True while the callback has neither fired nor been cancelled."""
         return not self._event.cancelled and self._event.time >= self._scheduler.now - 1e-9 \
-            and not getattr(self._event, "_fired", False)
+            and not self._event.fired
 
     def cancel(self) -> None:
         """Prevent the callback from firing (no-op if already fired)."""
@@ -88,7 +88,7 @@ class Scheduler:
         if event is None:
             return False
         self.clock.advance_to(event.time)
-        event._fired = True  # type: ignore[attr-defined]
+        event.fired = True
         self._events_processed += 1
         event.callback()
         return True

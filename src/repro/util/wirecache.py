@@ -1,0 +1,103 @@
+"""Process-wide memoisation of message wire forms.
+
+Every hot path in the simulator re-derives the same two facts about a
+message over and over: its canonical wire size (charged by the network for
+every ``send``) and the SHA-256 digest of its wire form (recomputed by every
+verification that touches the payload).  Both are pure functions of the
+message's canonical encoding, and protocol messages are immutable once they
+have been sent -- certificates are only mutated inside *collectors* before
+their first send -- so each logical message needs to be encoded exactly once
+per process.
+
+The cache is keyed by object identity (``id``) and holds a strong reference
+to the key object, which makes identity keying sound: an id cannot be reused
+while the entry is alive, and eviction (FIFO, bounded capacity) merely costs
+a recomputation.  Entries also carry the set of node names that have already
+been *charged* virtual hashing time for this message, so the cost model
+stays per-node honest: the first time a node digests a message it pays
+``digest_ms(wire_size)``; later touches by the same node are free (that is
+the fast path the benchmarks measure), while a *different* node touching the
+same object still pays for its own first hash.
+
+``configure(enabled=False)`` restores the uncached behaviour -- the
+benchmark harness uses it to measure the before/after delta.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Optional, Set
+
+from .encoding import canonical_encode
+
+
+class WireCacheEntry:
+    """Memoised wire facts for one message object."""
+
+    __slots__ = ("obj", "size", "digest", "charged")
+
+    def __init__(self, obj: Any) -> None:
+        self.obj = obj
+        #: canonical encoding length of ``obj.to_wire()`` (without padding)
+        self.size: Optional[int] = None
+        #: SHA-256 digest of the canonical encoding of ``obj.to_wire()``
+        self.digest: Optional[bytes] = None
+        #: names of nodes already charged virtual hashing time for this message
+        self.charged: Set[str] = set()
+
+    def materialise(self) -> None:
+        """Compute size and digest in a single canonical encoding pass."""
+        data = canonical_encode(self.obj.to_wire())
+        self.size = len(data)
+        self.digest = hashlib.sha256(data).digest()
+
+
+class WireCache:
+    """Bounded identity-keyed cache of :class:`WireCacheEntry` objects."""
+
+    def __init__(self, capacity: int = 8192) -> None:
+        self.capacity = capacity
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[int, WireCacheEntry]" = OrderedDict()
+
+    def entry_for(self, obj: Any) -> Optional[WireCacheEntry]:
+        """Return the (possibly fresh) entry for ``obj``, or None if disabled."""
+        if not self.enabled:
+            return None
+        key = id(obj)
+        entry = self._entries.get(key)
+        if entry is not None and entry.obj is obj:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        entry = WireCacheEntry(obj)
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def reset(self) -> None:
+        """Drop every entry and zero the counters (used between benchmarks)."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def configure(self, enabled: Optional[bool] = None,
+                  capacity: Optional[int] = None) -> None:
+        """Adjust the process-wide cache; disabling also drops all entries."""
+        if capacity is not None:
+            self.capacity = capacity
+        if enabled is not None:
+            self.enabled = enabled
+            if not enabled:
+                self._entries.clear()
+
+
+#: the process-wide instance used by messages and crypto providers
+WIRE_CACHE = WireCache()

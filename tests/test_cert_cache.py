@@ -1,0 +1,192 @@
+"""Tests for the verified-certificate cache (the verification fast path).
+
+Covers the satellite requirements: hit/miss accounting, charge-only-on-miss,
+no cross-node leakage, Byzantine forgeries still rejected after a legitimate
+certificate over the same statement was cached, and crypto-op counters
+reflecting cached hits -- plus an end-to-end equivalence check that the fast
+path changes no observable protocol result.
+"""
+
+import pytest
+
+from conftest import CHEAP_CRYPTO, make_config
+from repro.apps.kvstore import KeyValueStore, get as kv_get, put as kv_put
+from repro.config import AuthenticationScheme, PerfConfig
+from repro.crypto.cache import VerifiedCertificateCache
+from repro.crypto.certificate import Authenticator, Certificate
+from repro.crypto.keys import Keystore
+from repro.crypto.provider import CryptoProvider
+from repro.messages.request import ClientRequest
+from repro.sharding import ShardedSystem
+from repro.statemachine.interface import Operation
+from repro.util.ids import agreement_id, client_id, execution_id
+
+
+def sample_request(tag=0):
+    return ClientRequest(operation=Operation(kind="null", args={"tag": tag}),
+                         timestamp=1, client=client_id(0))
+
+
+def recording_provider(keystore, node, perf=None):
+    charges, ops = [], []
+    provider = CryptoProvider(node, keystore, CHEAP_CRYPTO,
+                              charge=charges.append, record=ops.append,
+                              perf=perf)
+    return provider, charges, ops
+
+
+class TestCacheUnit:
+    def test_bounded_lru_eviction(self):
+        cache = VerifiedCertificateCache(capacity=2)
+        cache.add(("a",))
+        cache.add(("b",))
+        cache.add(("c",))
+        assert len(cache) == 2
+        assert not cache.seen(("a",))
+        assert cache.seen(("c",))
+
+    def test_hit_miss_counters(self):
+        cache = VerifiedCertificateCache()
+        assert not cache.seen(("x",))
+        cache.add(("x",))
+        assert cache.seen(("x",))
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+
+class TestHitMissAccounting:
+    def test_repeat_authenticator_verification_hits(self, keystore):
+        signer, _, _ = recording_provider(keystore, client_id(0))
+        verifier, charges, ops = recording_provider(keystore, agreement_id(0))
+        request = sample_request()
+        auth = signer.mac_authenticator(request, [agreement_id(0)])
+
+        assert verifier.verify_mac(request, auth)
+        assert ops.count("mac_verify") == 1
+        charges_after_miss = list(charges)
+
+        assert verifier.verify_mac(request, auth)
+        # The hit is recorded but charges no virtual time at all (the digest
+        # is memoised too, so not even hashing time is re-charged).
+        assert ops.count("mac_verify") == 1
+        assert ops.count("mac_verify_cached") == 1
+        assert charges == charges_after_miss
+        assert verifier.cache.hits == 1
+
+    def test_repeat_certificate_verification_hits(self, keystore):
+        signer, _, _ = recording_provider(keystore, client_id(0))
+        verifier, charges, ops = recording_provider(keystore, agreement_id(1))
+        request = sample_request()
+        certificate = signer.new_certificate(
+            request, AuthenticationScheme.MAC, [agreement_id(1)])
+
+        assert verifier.verify_certificate(certificate, 1, [client_id(0)])
+        charges_after_miss = list(charges)
+        assert verifier.verify_certificate(certificate, 1, [client_id(0)])
+        assert "certificate_cached" in ops
+        assert charges == charges_after_miss
+
+    def test_cache_disabled_recharges(self, keystore):
+        signer, _, _ = recording_provider(keystore, client_id(0))
+        verifier, _, ops = recording_provider(
+            keystore, agreement_id(0),
+            perf=PerfConfig(verified_cert_cache=False, digest_memo=False))
+        assert verifier.cache is None
+        request = sample_request()
+        auth = signer.mac_authenticator(request, [agreement_id(0)])
+        assert verifier.verify_mac(request, auth)
+        assert verifier.verify_mac(request, auth)
+        assert ops.count("mac_verify") == 2
+        assert "mac_verify_cached" not in ops
+
+
+class TestNoCrossNodeLeakage:
+    def test_each_node_pays_for_its_own_first_verification(self, keystore):
+        """A node must not benefit from another node's verification."""
+        signer, _, _ = recording_provider(keystore, client_id(0))
+        node_a, _, ops_a = recording_provider(keystore, agreement_id(0))
+        node_b, _, ops_b = recording_provider(keystore, agreement_id(1))
+        request = sample_request()
+        auth = signer.mac_authenticator(request, [agreement_id(0), agreement_id(1)])
+
+        assert node_a.verify_mac(request, auth)
+        assert node_a.verify_mac(request, auth)
+        # B's cache is empty even though A has verified the same authenticator.
+        assert node_b.cache.hits == 0
+        assert node_b.verify_mac(request, auth)
+        assert ops_b.count("mac_verify") == 1
+        assert "mac_verify_cached" not in ops_b
+        # And B pays its own digest charge despite A having hashed the message.
+        assert ops_b.count("digest") == 1
+
+
+class TestByzantineForgery:
+    def test_forged_authenticator_rejected_after_legitimate_cache(self, keystore):
+        """Caching a legitimate certificate must not admit a forgery over the
+        same statement claiming a *different* signer."""
+        signer, _, _ = recording_provider(keystore, client_id(0))
+        verifier, _, _ = recording_provider(keystore, agreement_id(0))
+        request = sample_request()
+        legit = signer.new_certificate(request, AuthenticationScheme.MAC,
+                                       [agreement_id(0)])
+        assert verifier.verify_certificate(legit, 1, [client_id(0)])
+
+        forged = Certificate(payload=request, scheme=AuthenticationScheme.MAC)
+        forged.add(Authenticator(
+            signer=client_id(1), scheme=AuthenticationScheme.MAC,
+            payload_digest=verifier.payload_digest(request),
+            token={agreement_id(0).name: b"\x00" * 32}))
+        assert not verifier.verify_certificate(forged, 1, [client_id(1)])
+        # Repeating the forgery still fails: failures are never cached.
+        assert not verifier.verify_certificate(forged, 1, [client_id(1)])
+
+    def test_forgery_cannot_raise_quorum_count(self, keystore):
+        signer, _, _ = recording_provider(keystore, client_id(0))
+        verifier, _, _ = recording_provider(keystore, execution_id(0))
+        request = sample_request()
+        certificate = signer.new_certificate(request, AuthenticationScheme.MAC,
+                                             [execution_id(0)])
+        assert verifier.verify_certificate(certificate, 1)
+        # Add a forged second authenticator: the cached fact for the first
+        # signer must not make the forged one count toward a 2-quorum.
+        certificate.add(Authenticator(
+            signer=client_id(1), scheme=AuthenticationScheme.MAC,
+            payload_digest=verifier.payload_digest(request),
+            token={execution_id(0).name: b"\x01" * 32}))
+        assert not verifier.verify_certificate(certificate, 2)
+
+    def test_forged_different_payload_rejected(self, keystore):
+        signer, _, _ = recording_provider(keystore, client_id(0))
+        verifier, _, _ = recording_provider(keystore, agreement_id(0))
+        auth = signer.mac_authenticator(sample_request(0), [agreement_id(0)])
+        assert verifier.verify_mac(sample_request(0), auth)
+        # Same signer, cached success -- but a different payload misses.
+        assert not verifier.verify_mac(sample_request(1), auth)
+
+
+class TestEndToEndEquivalence:
+    @staticmethod
+    def _run(perf: PerfConfig):
+        from repro.config import ShardingConfig
+
+        config = make_config(num_clients=2, perf=perf,
+                             sharding=ShardingConfig(num_shards=2))
+        system = ShardedSystem(config, KeyValueStore, seed=11)
+        operations = [kv_put("alpha", "1"), kv_put("beta", "2"),
+                      kv_get("alpha"), kv_get("beta"), kv_get("missing")]
+        results = [system.invoke(op, client_index=i % 2).result.value
+                   for i, op in enumerate(operations)]
+        return system, results
+
+    def test_fast_path_changes_no_results_and_hits(self):
+        fast_system, fast_results = self._run(PerfConfig())
+        slow_system, slow_results = self._run(
+            PerfConfig(verified_cert_cache=False, digest_memo=False,
+                       shard_verify_owned_only=False))
+        assert fast_results == slow_results
+        hits = sum(replica.crypto.cache.hits
+                   for replica in fast_system.agreement_replicas)
+        assert hits > 0
+        # The cached hits show up in the crypto-op counters.
+        totals = fast_system.crypto_op_totals()
+        assert any(op.endswith("_cached") for op in totals)

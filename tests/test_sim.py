@@ -80,6 +80,51 @@ class TestEventQueue:
         assert queue
         assert queue.peek_time() == 3.0
 
+    def test_len_tracks_live_events(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(10)]
+        assert len(queue) == 10
+        for event in events[:4]:
+            event.cancel()
+        assert len(queue) == 6
+        while queue.pop() is not None:
+            pass
+        assert len(queue) == 0
+
+    def test_double_cancel_and_cancel_after_pop_keep_count_exact(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        other = queue.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+        popped = queue.pop()
+        assert popped is other
+        popped.cancel()  # cancelling a popped event must not underflow
+        assert len(queue) == 0
+
+    def test_compaction_bounds_heap_growth(self):
+        """Mass-cancelled retransmit timers are compacted out of the heap."""
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None, label="retransmit")
+                  for i in range(400)]
+        for i, event in enumerate(events):
+            if i % 8 != 0:
+                event.cancel()
+        live = len(queue)
+        assert live == 50
+        # Lazy deletion alone would leave 400 entries; compaction keeps the
+        # heap within a constant factor of the live count.
+        assert queue.heap_size <= 2 * live + 64
+        popped = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            popped.append(event.time)
+        assert popped == sorted(popped)
+        assert len(popped) == live
+
 
 class TestScheduler:
     def test_call_after_advances_clock(self):
