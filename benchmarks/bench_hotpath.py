@@ -43,6 +43,7 @@ from repro.config import (
     BatchingConfig,
     CryptoCosts,
     PerfConfig,
+    PipelineConfig,
     SystemConfig,
     TimerConfig,
 )
@@ -92,19 +93,25 @@ def print_section(title: str) -> None:
 # ---------------------------------------------------------------------- #
 
 
-def build_sharded(perf: PerfConfig, num_shards: int = 4, seed: int = 42) -> ShardedSystem:
+def build_sharded(perf: PerfConfig, num_shards: int = 4, seed: int = 42,
+                  pipeline: PipelineConfig = None) -> ShardedSystem:
     import dataclasses
 
     # A 5 ms bundle-fill window lets the adaptive controller assemble
     # multi-request (and therefore multi-shard) bundles under the closed
     # loop; before/after use the identical batching configuration, so the
-    # comparison isolates the verification fast path.
+    # comparison isolates the verification fast path.  The pipeline is
+    # pinned to the classic global watermark for the same reason: this
+    # benchmark measures the verification/encoding fast path, and the
+    # per-shard pipeline (which changes the bundle layout) is measured
+    # separately by bench_skew.py.
     timers = dataclasses.replace(HOTPATH_TIMERS, batch_timeout_ms=5.0)
     config = SystemConfig.sharded(
         num_shards=num_shards, num_clients=16, pipeline_depth=64,
         checkpoint_interval=64, app_processing_ms=1.0,
         timers=timers, crypto=HOTPATH_CRYPTO,
-        batching=ADAPTIVE, perf=perf)
+        batching=ADAPTIVE, perf=perf,
+        pipeline=pipeline if pipeline is not None else PipelineConfig())
     return ShardedSystem(config, KeyValueStore, seed=seed)
 
 
@@ -117,15 +124,23 @@ def crypto_totals(system) -> Dict[str, int]:
     return totals
 
 
-def run_hotpath_workload(fast_path: bool, num_requests: int, seed: int = 42):
-    """One uniform 4-shard kvstore run; returns (result, metrics dict)."""
+def run_hotpath_workload(fast_path: bool, num_requests: int, seed: int = 42,
+                         workload_seed: int = 7,
+                         pipeline: PipelineConfig = None):
+    """One uniform 4-shard kvstore run; returns (result, metrics dict).
+
+    ``seed`` drives the simulator (network jitter) and ``workload_seed`` the
+    workload RNG; both are explicit so CI reruns are bit-identical.
+    """
     _set_fast_path(fast_path)
-    system = build_sharded(PerfConfig() if fast_path else FASTPATH_OFF, seed=seed)
+    system = build_sharded(PerfConfig() if fast_path else FASTPATH_OFF, seed=seed,
+                           pipeline=pipeline)
     events_before = system.scheduler.events_processed
     wall_start = time.perf_counter()
     result = run_multishard_workload(
         system, label="fast path on" if fast_path else "fast path off",
-        num_requests=num_requests, key_space=96, distribution="uniform", seed=7)
+        num_requests=num_requests, key_space=96, distribution="uniform",
+        seed=workload_seed)
     wall_elapsed = max(time.perf_counter() - wall_start, 1e-9)
     events = system.scheduler.events_processed - events_before
     totals = crypto_totals(system)
@@ -149,13 +164,16 @@ def run_hotpath_workload(fast_path: bool, num_requests: int, seed: int = 42):
     return result, metrics
 
 
-def section_crypto_and_wallclock(quick: bool) -> Dict:
+def section_crypto_and_wallclock(quick: bool, seed: int = 42,
+                                 workload_seed: int = 7) -> Dict:
     num_requests = 96 if quick else 240
     # Wall-clock measurement repeats: virtual metrics are deterministic, but
     # wall-clock is noisy, so take the best (least-interfered) of N runs.
     repeats = 1 if quick else 2
-    before_runs = [run_hotpath_workload(False, num_requests) for _ in range(repeats)]
-    after_runs = [run_hotpath_workload(True, num_requests) for _ in range(repeats)]
+    before_runs = [run_hotpath_workload(False, num_requests, seed, workload_seed)
+                   for _ in range(repeats)]
+    after_runs = [run_hotpath_workload(True, num_requests, seed, workload_seed)
+                  for _ in range(repeats)]
     before = before_runs[0][1]
     after = after_runs[0][1]
     before["events_per_sec"] = max(m["events_per_sec"] for _, m in before_runs)
@@ -358,12 +376,14 @@ def section_micro(quick: bool) -> Dict:
 # ---------------------------------------------------------------------- #
 
 
-def run_all(quick: bool) -> Dict:
+def run_all(quick: bool, seed: int = 42, workload_seed: int = 7) -> Dict:
     results = {
         "benchmark": "hotpath",
         "mode": "quick" if quick else "full",
         "unix_time": time.time(),
-        "crypto": section_crypto_and_wallclock(quick),
+        "seed": seed,
+        "workload_seed": workload_seed,
+        "crypto": section_crypto_and_wallclock(quick, seed, workload_seed),
         "batching": section_batching(quick),
         "micro": section_micro(quick),
     }
@@ -401,6 +421,11 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="smaller workloads for CI smoke runs")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="simulator seed (network jitter); explicit so CI "
+                             "reruns are bit-identical")
+    parser.add_argument("--workload-seed", type=int, default=7,
+                        help="workload-generator RNG seed")
     parser.add_argument("--output", type=Path, default=Path("BENCH_hotpath.json"))
     parser.add_argument("--baseline", type=Path,
                         default=Path(__file__).parent / "hotpath_baseline.json")
@@ -410,7 +435,8 @@ def main(argv=None) -> int:
                         help="rewrite the baseline from this run's measurement")
     args = parser.parse_args(argv)
 
-    results = run_all(quick=args.quick)
+    results = run_all(quick=args.quick, seed=args.seed,
+                      workload_seed=args.workload_seed)
     args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {args.output}")
 

@@ -22,7 +22,7 @@ are exactly reproducible for a given seed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import BatchingConfig, SystemConfig
 from ..crypto.certificate import Certificate
@@ -107,82 +107,209 @@ def make_bundle_controller(config: SystemConfig):
     return StaticBundleController(config.bundle_size)
 
 
-class Batcher:
-    """FIFO of pending request certificates with duplicate suppression."""
+#: sentinel for "whichever queue is next in FIFO order" (``None`` is a real
+#: queue key: the unclassified queue)
+ANY_SHARD = object()
 
-    def __init__(self, bundle_size: int = 1, controller=None) -> None:
-        #: the controller is the single owner of the bundle size;
-        #: ``bundle_size`` only seeds the default static controller.
+
+class Batcher:
+    """FIFO of pending request certificates with duplicate suppression.
+
+    Without a ``classifier`` the batcher is a single FIFO governed by one
+    controller, exactly as in the unsharded architecture.  With a
+    ``classifier`` (request certificate -> destination shard) it keeps one
+    FIFO *per shard*, so the primary can form single-shard bundles and admit
+    them against per-shard pipeline windows.
+
+    **Per-shard bundle controllers.**  Each shard's bundle size is owned by
+    its own controller, created on demand from ``controller_factory`` the
+    first time that shard shows congestion (backlog left behind a take, or
+    more of its requests in flight than one bundle absorbs).  Until then the
+    shard is governed by the *shared low-load controller* (``controller``),
+    which -- because congested takes are diverted to the per-shard instance
+    before they can grow it -- stays pinned at the minimum bundle size.  A
+    hot shard therefore grows its own bundles to amortise agreement and
+    reply certificates, while a cold shard keeps flushing single-request
+    bundles at arrival time: one shard's load never inflates another
+    shard's batching latency.
+    """
+
+    def __init__(self, bundle_size: int = 1, controller=None,
+                 classifier: Optional[Callable[[Certificate], int]] = None,
+                 controller_factory: Optional[Callable[[], object]] = None) -> None:
+        #: the shared (low-load) controller; ``bundle_size`` only seeds the
+        #: default static controller.
         self.controller = controller or StaticBundleController(bundle_size)
-        self._queue: List[Certificate] = []
-        self._keys: Dict[Tuple[NodeId, int], int] = {}
+        self.classifier = classifier
+        self._controller_factory = controller_factory
+        #: per-shard controllers, created lazily on first congestion
+        self._shard_controllers: Dict[int, object] = {}
+        #: pending certificates, one FIFO per shard (key None = unclassified)
+        self._queues: Dict[Optional[int], List[Certificate]] = {}
+        #: (client, timestamp) -> owning queue key, for dedupe and removal
+        self._keys: Dict[Tuple[NodeId, int], Optional[int]] = {}
+        #: (client, timestamp) -> global arrival index (cross-shard FIFO)
+        self._arrival_of: Dict[Tuple[NodeId, int], int] = {}
+        self._arrivals = 0
         self.total_enqueued = 0
         self.total_batches = 0
         self.largest_batch = 0
 
     @property
     def bundle_size(self) -> int:
-        """The controller's current bundle size."""
+        """The shared controller's current bundle size."""
         return self.controller.current
 
+    def controller_for(self, shard: Optional[int]):
+        """The controller governing ``shard`` (shared until first congestion)."""
+        if shard is None:
+            return self.controller
+        return self._shard_controllers.get(shard, self.controller)
+
+    def bundle_size_for(self, shard: Optional[int]) -> int:
+        return self.controller_for(shard).current
+
     def __len__(self) -> int:
-        return len(self._queue)
+        return len(self._keys)
 
     @staticmethod
     def _key(certificate: Certificate) -> Tuple[NodeId, int]:
         request: ClientRequest = certificate.payload
         return (request.client, request.timestamp)
 
+    def _shard_of(self, certificate: Certificate) -> Optional[int]:
+        if self.classifier is None:
+            return None
+        return self.classifier(certificate)
+
     def add(self, certificate: Certificate) -> bool:
         """Enqueue a request certificate; returns False if it was a duplicate."""
         key = self._key(certificate)
         if key in self._keys:
             return False
-        self._keys[key] = len(self._queue)
-        self._queue.append(certificate)
+        shard = self._shard_of(certificate)
+        self._keys[key] = shard
+        self._queues.setdefault(shard, []).append(certificate)
+        self._arrival_of[key] = self._arrivals
+        self._arrivals += 1
         self.total_enqueued += 1
         return True
 
     def contains(self, client: NodeId, timestamp: int) -> bool:
         return (client, timestamp) in self._keys
 
+    # ------------------------------------------------------------------ #
+    # Queue inspection.
+    # ------------------------------------------------------------------ #
+
+    def _head_arrival(self, shard: Optional[int]) -> int:
+        return self._arrival_of[self._key(self._queues[shard][0])]
+
+    def shards(self) -> List[Optional[int]]:
+        """Queue keys with pending work, oldest head request first."""
+        return sorted((s for s, q in self._queues.items() if q),
+                      key=self._head_arrival)
+
+    def full_shards(self) -> List[Optional[int]]:
+        """Queues holding at least one full bundle, oldest head first."""
+        return [shard for shard in self.shards()
+                if len(self._queues[shard]) >= self.bundle_size_for(shard)]
+
+    def backlog(self, shard: Optional[int]) -> int:
+        return len(self._queues.get(shard, ()))
+
     def has_full_bundle(self) -> bool:
-        return len(self._queue) >= self.bundle_size
+        return bool(self.full_shards())
 
     def has_work(self) -> bool:
-        return bool(self._queue)
+        return bool(self._keys)
 
-    def take(self, limit: Optional[int] = None,
-             in_flight: int = 0) -> List[Certificate]:
-        """Remove and return up to ``limit`` (default ``bundle_size``) requests.
+    def _pick(self, shard) -> Optional[int]:
+        """Resolve the ``ANY_SHARD`` sentinel to the next FIFO candidate queue."""
+        if shard is not ANY_SHARD:
+            return shard
+        candidates = self.full_shards() or self.shards()
+        return candidates[0] if candidates else None
 
-        ``in_flight`` is the number of batches the caller has sent but not
-        yet seen answered -- the congestion signal the adaptive controller
-        uses alongside the queue depth.
+    def peek(self, shard=ANY_SHARD, limit: Optional[int] = None) -> List[Certificate]:
+        """The requests :meth:`take` would return, without removing them."""
+        shard = self._pick(shard)
+        queue = self._queues.get(shard)
+        if not queue:
+            return []
+        count = min(len(queue), limit if limit is not None
+                    else self.bundle_size_for(shard))
+        return queue[:count]
+
+    # ------------------------------------------------------------------ #
+    # Taking bundles.
+    # ------------------------------------------------------------------ #
+
+    def take(self, limit: Optional[int] = None, in_flight: int = 0,
+             shard=ANY_SHARD) -> List[Certificate]:
+        """Remove and return up to ``limit`` (default: the owning
+        controller's bundle size) requests from one queue.
+
+        ``in_flight`` is the number of requests the caller has ordered but
+        not yet seen answered (for ``shard``, *that shard's* share) -- the
+        congestion signal the adaptive controller uses alongside the queue
+        depth.  ``shard`` selects which per-shard FIFO to drain; by default
+        the queue whose head request arrived first among those holding a
+        full bundle (falling back to overall FIFO order).
         """
-        backlog = len(self._queue)
-        count = min(backlog, limit if limit is not None else self.bundle_size)
+        shard = self._pick(shard)
+        queue = self._queues.get(shard)
+        if not queue:
+            return []
+        backlog = len(queue)
+        count = min(backlog, limit if limit is not None
+                    else self.bundle_size_for(shard))
         if count == 0:
             return []
-        batch = self._queue[:count]
-        self._queue = self._queue[count:]
-        self._keys = {self._key(cert): i for i, cert in enumerate(self._queue)}
+        batch = queue[:count]
+        del queue[:count]
+        if not queue:
+            del self._queues[shard]
+        for certificate in batch:
+            key = self._key(certificate)
+            del self._keys[key]
+            del self._arrival_of[key]
         self.total_batches += 1
         self.largest_batch = max(self.largest_batch, count)
-        self.controller.on_take(backlog, count, in_flight)
+        self._note_take(shard, backlog, count, in_flight)
         return batch
+
+    def _note_take(self, shard: Optional[int], backlog_before: int,
+                   taken: int, in_flight: int) -> None:
+        controller = self.controller_for(shard)
+        if (shard is not None and controller is self.controller
+                and self._controller_factory is not None):
+            congested = (backlog_before - taken > 0
+                         or in_flight + taken > controller.current)
+            if congested:
+                # First congestion on this shard: promote it to its own
+                # controller so the shared low-load controller never grows.
+                controller = self._controller_factory()
+                self._shard_controllers[shard] = controller
+        controller.on_take(backlog_before, taken, in_flight)
 
     def remove(self, client: NodeId, timestamp: int) -> None:
         """Drop a pending request (e.g. because it already committed elsewhere)."""
         key = (client, timestamp)
         if key not in self._keys:
             return
-        self._queue = [cert for cert in self._queue if self._key(cert) != key]
-        self._keys = {self._key(cert): i for i, cert in enumerate(self._queue)}
+        shard = self._keys.pop(key)
+        del self._arrival_of[key]
+        queue = self._queues.get(shard, [])
+        queue[:] = [cert for cert in queue if self._key(cert) != key]
+        if not queue:
+            self._queues.pop(shard, None)
 
     def pending_requests(self) -> List[Certificate]:
-        """The request certificates currently waiting to be ordered."""
-        return list(self._queue)
+        """The request certificates currently waiting, in arrival order."""
+        pending = [cert for queue in self._queues.values() for cert in queue]
+        pending.sort(key=lambda cert: self._arrival_of[self._key(cert)])
+        return pending
 
     def average_batch_size(self) -> float:
         """Mean requests per batch taken so far (1.0 if nothing taken yet)."""

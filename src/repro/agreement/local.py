@@ -70,5 +70,24 @@ class LocalExecutor(ABC):
         """
         return None
 
+    def seq_answered(self, seq: int) -> bool:
+        """Whether a reply for sequence number ``seq`` has been seen.
+
+        With sharded execution replies complete out of global order, so this
+        can be true for sequence numbers above the contiguous
+        :meth:`highest_ready_seq` watermark; the default derives the answer
+        from that watermark alone (the unsharded behaviour).
+        """
+        ready = self.highest_ready_seq()
+        return ready is not None and seq <= ready
+
+    def shard_outstanding(self, shard: int) -> int:
+        """Batches sent towards execution shard ``shard`` but not yet
+        answered (0 when the executor is not sharded).  The agreement
+        replica combines this with its own proposal tracking to size the
+        per-shard pipeline windows
+        (:attr:`repro.config.PipelineConfig.per_shard_depth`)."""
+        return 0
+
     def on_stable_checkpoint(self, seq: int) -> None:
         """Notification that the agreement cluster's checkpoint at ``seq`` is stable."""

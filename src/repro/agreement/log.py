@@ -29,6 +29,10 @@ class LogEntry:
     commit_authenticators: Dict[NodeId, Authenticator] = field(default_factory=dict)
     prepared: bool = False
     committed: bool = False
+    #: handed to the local executor's out-of-order staging buffer (the
+    #: per-shard frontier releases it; independent of ``delivered``, which
+    #: tracks the contiguous in-order bookkeeping pass)
+    staged: bool = False
     delivered: bool = False
 
     def batch_digest(self) -> Optional[bytes]:

@@ -48,9 +48,16 @@ from ..sim.process import Process
 from ..sim.scheduler import Scheduler, Timer
 from ..statemachine.nondet import NonDeterminismResolver, NonDetInput
 from ..util.ids import NodeId
-from .batching import Batcher, make_bundle_controller
+from .batching import ANY_SHARD, Batcher, make_bundle_controller
 from .local import LocalExecutor, RetryOutcome
 from .log import AgreementLog, LogEntry
+
+#: EWMA smoothing factor for the measured order-to-reply round trip
+_RTT_ALPHA = 0.125
+#: the RTT-derived gather window is this fraction of the smoothed round trip
+_RTT_GATHER_FRACTION = 0.5
+#: floor of the RTT-derived gather window (ms)
+_MIN_GATHER_MS = 0.5
 
 
 class AgreementReplica(Process):
@@ -90,6 +97,18 @@ class AgreementReplica(Process):
         #: request count per own-proposed batch still awaiting its reply
         #: (the adaptive-batching congestion signal)
         self._inflight_batch_sizes: Dict[int, int] = {}
+        #: per own-proposed batch: destination shard -> owned request count
+        #: (sizes the per-shard pipeline windows and bundle controllers)
+        self._inflight_shard_requests: Dict[int, Dict[int, int]] = {}
+        #: proposal time per own batch awaiting its reply (RTT sampling)
+        self._batch_sent_at: Dict[int, float] = {}
+        #: smoothed order-to-reply round trip (None until the first sample)
+        self._rtt_ewma: Optional[float] = None
+        #: simulator event stamp of the last in-flight prune (one scan per event)
+        self._prune_stamp: Optional[int] = None
+        #: deterministic request -> shard mapping (set by the sharded system
+        #: when per-shard pipelining is configured; None = global pipeline)
+        self._shard_classifier = None
         #: absolute bound on the current idle-gather window (None when no
         #: idle gather is in progress)
         self._gather_deadline: Optional[float] = None
@@ -115,6 +134,27 @@ class AgreementReplica(Process):
     @property
     def is_primary(self) -> bool:
         return self.primary_of(self.view) == self.node_id
+
+    def enable_per_shard_batching(self, classifier) -> None:
+        """Partition the pending-request FIFO by destination shard.
+
+        ``classifier`` maps a :class:`ClientRequest` to its owning shard
+        (the shard router's deterministic mapping).  The primary then forms
+        single-shard bundles, sizes each shard's bundles with its own AIMD
+        controller, and admits sequence numbers against per-shard pipeline
+        windows (:attr:`repro.config.PipelineConfig.per_shard_depth`)
+        instead of the global contiguous watermark.
+        """
+        self._shard_classifier = classifier
+        self.batcher = Batcher(
+            controller=make_bundle_controller(self.config),
+            classifier=lambda cert: classifier(cert.payload),
+            controller_factory=lambda: make_bundle_controller(self.config))
+
+    @property
+    def _per_shard_admission(self) -> bool:
+        return (self.config.pipeline.per_shard_depth is not None
+                and self._shard_classifier is not None)
 
     # ------------------------------------------------------------------ #
     # Message dispatch.
@@ -220,24 +260,23 @@ class AgreementReplica(Process):
         """Create a batch now if a full bundle is ready, else arm the batch timer."""
         if not self.is_primary or self._view_changing:
             return
-        while self.batcher.has_full_bundle() and self._can_start(self.next_seq):
-            self._make_batch()
+        self._drain_bundles(full_only=True)
         if self.batcher.has_work():
             timeout = self.config.timers.batch_timeout_ms
-            if (self._adaptive_batching and self._can_start(self.next_seq)
+            if (self._adaptive_batching and self._admissible_work()
                     and self._batches_in_flight() <= 1):
                 # Group commit with double buffering: at most one batch is
                 # awaiting execution, so a long bundle-fill wait would idle
                 # the execution cluster -- the next bundle's agreement round
                 # should overlap the current bundle's execution.  Gather with
                 # a debounced quiet-gap window: each arrival extends the
-                # flush by gather_ms so the whole burst of client
+                # flush by the gather window so the whole burst of client
                 # re-submissions following a reply lands in one bundle, and
                 # the batch-timeout bound caps the total gather time.
                 if self._gather_deadline is None:
                     self._gather_deadline = self.now + timeout
                 timeout = min(max(self._gather_deadline - self.now, 0.0),
-                              self.config.batching.gather_ms)
+                              self._gather_window())
                 self._cancel_batch_timer()
             if self._batch_timer is None or not self._batch_timer.active:
                 self._batch_timer = self.set_timer(
@@ -256,6 +295,32 @@ class AgreementReplica(Process):
             self._cancel_batch_timer()
             self._gather_deadline = None
 
+    def _drain_bundles(self, full_only: bool) -> None:
+        """Order every admissible bundle (full bundles only, or -- on a
+        flush timeout -- partial ones too).
+
+        Queues are scanned in cross-shard FIFO order, but a queue whose
+        shard window is full does not block the queues behind it: that
+        head-of-line independence is what lets cold shards keep flowing
+        while a hot shard's pipeline is at capacity.
+        """
+        self._prune_answered()
+        progressed = True
+        while progressed:
+            progressed = False
+            shards = (self.batcher.full_shards() if full_only
+                      else self.batcher.shards())
+            for shard in shards:
+                if self._can_start(self.next_seq, shard=shard):
+                    self._make_batch(shard=shard)
+                    progressed = True
+                    break
+
+    def _admissible_work(self) -> bool:
+        """Whether any pending queue could be ordered right now."""
+        return any(self._can_start(self.next_seq, shard=shard)
+                   for shard in self.batcher.shards())
+
     def _cancel_batch_timer(self) -> None:
         if self._batch_timer is not None and self._batch_timer.active:
             self._batch_timer.cancel()
@@ -264,14 +329,14 @@ class AgreementReplica(Process):
         """Called by the local state machine when a reply certificate frees
         pipeline capacity: the primary immediately considers a new batch (the
         group-commit trigger for adaptive bundling)."""
+        self._prune_answered()
         if self.is_primary and not self._view_changing:
             self.maybe_make_batch()
 
     def _on_batch_timeout(self) -> None:
         if not self.is_primary or self._view_changing:
             return
-        while self.batcher.has_work() and self._can_start(self.next_seq):
-            self._make_batch()
+        self._drain_bundles(full_only=False)
         if self.batcher.has_work():
             # Pipeline is full: try again shortly.
             self._batch_timer = self.set_timer(
@@ -280,31 +345,101 @@ class AgreementReplica(Process):
                 label=f"{self.node_id}:batch-timeout",
             )
 
-    def _can_start(self, seq: int) -> bool:
-        """Watermark and pipeline back-pressure check for a new sequence number."""
+    def _can_start(self, seq: int, shard=ANY_SHARD) -> bool:
+        """Watermark and pipeline back-pressure check for a new sequence number.
+
+        ``shard`` is the candidate bundle's queue key (per-shard batching
+        keeps single-shard queues, so it is also the only shard the bundle
+        touches).  With per-shard pipelining the bundle is admitted when
+        that shard is within its own ``per_shard_depth`` window -- the
+        global contiguous answered floor is not consulted, so one slow
+        shard's unanswered batches never gate another shard's admission.
+        The agreement log's ``[h, h + L]`` watermark window still bounds
+        the log in both modes.
+        """
         if seq > self.log.high_watermark:
             return False
+        if (self._per_shard_admission and shard is not ANY_SHARD
+                and shard is not None):
+            depth = self.config.pipeline.per_shard_depth
+            return self._shard_in_flight(shard) < depth
         ready = self.local.highest_ready_seq()
         floor = ready if ready is not None else self.log.last_delivered_seq
         return seq <= floor + self.config.pipeline_depth
+
+    def _prune_answered(self) -> None:
+        """Drop in-flight tracking for answered batches, sampling their
+        order-to-reply round trip into the gather-window EWMA.
+
+        Memoised per simulator event: answers only arrive through message
+        events, so within one callback the in-flight set can only grow
+        (new proposals are unanswered by construction) and one scan
+        suffices no matter how many admission checks the pass makes.
+        """
+        stamp = self.scheduler.events_processed
+        if stamp == self._prune_stamp:
+            return
+        self._prune_stamp = stamp
+        ready = self.local.highest_ready_seq()
+        floor = ready if ready is not None else self.log.last_delivered_seq
+        for seq in [s for s in self._inflight_batch_sizes
+                    if s <= floor or self.local.seq_answered(s)]:
+            del self._inflight_batch_sizes[seq]
+            self._inflight_shard_requests.pop(seq, None)
+            sent_at = self._batch_sent_at.pop(seq, None)
+            if sent_at is not None:
+                sample = self.now - sent_at
+                self._rtt_ewma = sample if self._rtt_ewma is None else (
+                    (1.0 - _RTT_ALPHA) * self._rtt_ewma + _RTT_ALPHA * sample)
+
+    def _gather_window(self) -> float:
+        """The idle-gather (group-commit debounce) window.
+
+        With ``PipelineConfig.rtt_gather`` the window tracks the measured
+        commit round trip -- long enough to cover the reply-to-resubmission
+        turnaround of closed-loop clients, short enough not to idle a fast
+        deployment -- instead of the static ``BatchingConfig.gather_ms``.
+        """
+        if self.config.pipeline.rtt_gather and self._rtt_ewma is not None:
+            return min(max(_RTT_GATHER_FRACTION * self._rtt_ewma, _MIN_GATHER_MS),
+                       self.config.timers.batch_timeout_ms)
+        return self.config.batching.gather_ms
 
     def _requests_in_flight(self) -> int:
         """Requests assigned a sequence number but not yet answered by
         execution -- the pipeline-congestion signal for adaptive bundle
         sizing (the demand one bundle could have absorbed)."""
-        ready = self.local.highest_ready_seq()
-        floor = ready if ready is not None else self.log.last_delivered_seq
-        for seq in [s for s in self._inflight_batch_sizes if s <= floor]:
-            del self._inflight_batch_sizes[seq]
+        self._prune_answered()
         return sum(self._inflight_batch_sizes.values())
 
     def _batches_in_flight(self) -> int:
         """Batches assigned a sequence number but not yet answered."""
-        self._requests_in_flight()  # prune answered entries
+        self._prune_answered()
         return len(self._inflight_batch_sizes)
 
-    def _make_batch(self) -> None:
-        requests = self.batcher.take(in_flight=self._requests_in_flight())
+    def _shard_in_flight(self, shard: int) -> int:
+        """Batches in flight that touch ``shard``: own proposals not yet
+        answered, cross-checked against the router queue's released-but-
+        unanswered count (which also covers batches proposed by an earlier
+        primary)."""
+        self._prune_answered()
+        own = sum(1 for by_shard in self._inflight_shard_requests.values()
+                  if shard in by_shard)
+        return max(own, self.local.shard_outstanding(shard))
+
+    def _shard_requests_in_flight(self, shard: int) -> int:
+        """Requests in flight owned by ``shard`` (its bundle controller's
+        congestion signal)."""
+        self._prune_answered()
+        return sum(by_shard.get(shard, 0)
+                   for by_shard in self._inflight_shard_requests.values())
+
+    def _make_batch(self, shard=ANY_SHARD) -> None:
+        if shard is not ANY_SHARD and shard is not None:
+            in_flight = self._shard_requests_in_flight(shard)
+        else:
+            in_flight = self._requests_in_flight()
+        requests = self.batcher.take(in_flight=in_flight, shard=shard)
         if not requests:
             return
         # Any take ends the current idle-gather episode; the next gather
@@ -314,6 +449,11 @@ class AgreementReplica(Process):
         seq = self.next_seq
         self.next_seq += 1
         self._inflight_batch_sizes[seq] = len(requests)
+        self._batch_sent_at[seq] = self.now
+        if (self._shard_classifier is not None and shard is not ANY_SHARD
+                and shard is not None):
+            # Per-shard queues are single-shard: the queue key is the owner.
+            self._inflight_shard_requests[seq] = {shard: len(requests)}
         batch_digest = self._batch_digest(requests)
         nondet = self.nondet.propose(self.now, seed=batch_digest)
         pre_prepare = PrePrepare(view=self.view, seq=seq, batch_digest=batch_digest,
@@ -447,7 +587,29 @@ class AgreementReplica(Process):
         if entry.commit_count(digest) < 2 * self.f + 1:
             return
         entry.committed = True
+        if self.config.pipeline.ooo_shard_delivery:
+            self._stage_committed(entry)
         self._deliver_in_order()
+
+    def _stage_committed(self, entry: LogEntry) -> None:
+        """Hand a just-committed batch to the local executor's out-of-order
+        staging buffer (``PipelineConfig.ooo_shard_delivery``).
+
+        The content of a locally *committed* entry is fixed forever (any
+        later view must preserve it), so the executor may learn it even
+        while an earlier sequence number is still gathering commit votes;
+        the shard router buffers the gap and releases each shard's parts
+        along its per-shard frontier.  Uncommitted entries are never staged
+        -- their content could still change across a view change.
+        """
+        stage = getattr(self.local, "stage_batch", None)
+        if stage is None or entry.staged or entry.pre_prepare is None:
+            return
+        entry.staged = True
+        stage(seq=entry.seq, view=entry.view,
+              request_certificates=entry.pre_prepare.requests,
+              agreement_certificate=self._assemble_certificate(entry),
+              nondet=entry.pre_prepare.nondet)
 
     def _deliver_in_order(self) -> None:
         """Deliver committed batches to the local state machine in order."""
@@ -465,11 +627,10 @@ class AgreementReplica(Process):
                 return entry
         return None
 
-    def _deliver(self, entry: LogEntry) -> None:
-        assert entry.pre_prepare is not None
-        body = self._cert_body(entry)
+    def _assemble_certificate(self, entry: LogEntry) -> Certificate:
+        """Assemble the agreement certificate from the commit authenticators."""
         certificate = Certificate(
-            payload=body,
+            payload=self._cert_body(entry),
             scheme=(AuthenticationScheme.SIGNATURE
                     if self.config.authentication is AuthenticationScheme.SIGNATURE
                     else AuthenticationScheme.MAC),
@@ -477,12 +638,20 @@ class AgreementReplica(Process):
         for replica, authenticator in entry.commit_authenticators.items():
             if authenticator.scheme is certificate.scheme:
                 certificate.authenticators[replica] = authenticator
-        self.local.execute_batch(
-            seq=entry.seq, view=entry.view,
-            request_certificates=entry.pre_prepare.requests,
-            agreement_certificate=certificate,
-            nondet=entry.pre_prepare.nondet,
-        )
+        return certificate
+
+    def _deliver(self, entry: LogEntry) -> None:
+        assert entry.pre_prepare is not None
+        # Entries already handed over at commit time (out-of-order staging)
+        # skip the hand-off: the executor has the batch, and reassembling
+        # the certificate here would be pure waste.
+        if not entry.staged:
+            self.local.execute_batch(
+                seq=entry.seq, view=entry.view,
+                request_certificates=entry.pre_prepare.requests,
+                agreement_certificate=self._assemble_certificate(entry),
+                nondet=entry.pre_prepare.nondet,
+            )
         entry.delivered = True
         self.log.last_delivered_seq = entry.seq
         self.batches_delivered += 1
@@ -622,6 +791,14 @@ class AgreementReplica(Process):
         self._target_view = view
         self.view_changes_completed += 1
         self.next_seq = max(self.next_seq, self.log.last_delivered_seq + 1)
+        # Proposals of the old view may have been discarded by the view
+        # change; keeping them in the in-flight tables would count phantom
+        # batches against the pipeline windows forever.  The router queue's
+        # own released-but-unanswered counts still back-pressure whatever
+        # genuinely survived.
+        self._inflight_batch_sizes.clear()
+        self._inflight_shard_requests.clear()
+        self._batch_sent_at.clear()
         # Requests that were pending when the view changed must be re-ordered
         # in the new view; the primary picks them up from the batcher and the
         # backups re-arm their deadlines so that a still-faulty primary (or a

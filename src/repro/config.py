@@ -22,6 +22,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 from dataclasses import dataclass, field
+from typing import Optional
 
 from .errors import ConfigurationError
 
@@ -167,6 +168,56 @@ class ShardingConfig:
 
 
 @dataclass(frozen=True)
+class PipelineConfig:
+    """Skew-aware concurrency between the agreement and execution clusters.
+
+    The paper's pipeline bound is a single *global* window: agreement will
+    not start sequence number ``n`` until the highest **contiguously**
+    answered sequence number has reached ``n - P``
+    (:attr:`SystemConfig.pipeline_depth`).  With sharded execution that one
+    watermark serialises every shard behind the slowest one: a hot shard's
+    unanswered batch freezes the contiguous frontier, and cold shards stop
+    being admitted even though their own pipelines are empty.  The switches
+    here decouple the shards:
+
+    Parameters
+    ----------
+    per_shard_depth:
+        When set, the primary admits a new sequence number as soon as every
+        shard *touched by the candidate bundle* has fewer than
+        ``per_shard_depth`` of its own batches in flight (ordered or sent
+        but not yet answered), instead of gating on the global contiguous
+        answered floor.  Safety is unchanged: the agreement log's
+        ``[h, h + L]`` watermark window still bounds how far the log may
+        run ahead of the stable checkpoint.  ``None`` keeps the paper's
+        global watermark.
+    ooo_shard_delivery:
+        Let each agreement node hand a batch to its shard router as soon as
+        the batch *commits* (even when an earlier sequence number has not
+        committed locally yet); the router buffers out-of-order arrivals
+        and releases each shard's parts along a per-shard frontier over the
+        global order.  Shard-local sequence numbers stay deterministic
+        because the frontier is a pure function of the committed prefix.
+    rtt_gather:
+        Derive the adaptive-batching idle-gather window from an EWMA of the
+        measured order-to-reply round trip instead of the static
+        ``BatchingConfig.gather_ms``, so the group-commit debounce tracks
+        the deployment's actual reply turnaround.
+    """
+
+    per_shard_depth: Optional[int] = None
+    ooo_shard_delivery: bool = False
+    rtt_gather: bool = False
+
+    def validate(self) -> None:
+        if self.per_shard_depth is not None and self.per_shard_depth < 1:
+            raise ConfigurationError(
+                "per_shard_depth must be at least 1 (or None for the global "
+                "pipeline watermark)"
+            )
+
+
+@dataclass(frozen=True)
 class PerfConfig:
     """Hot-path fast-path switches (the verification/encoding fast path).
 
@@ -193,12 +244,21 @@ class PerfConfig:
         certificate (``2f + 1`` commits) proves that ``f + 1`` correct
         agreement replicas verified *every* request certificate in the
         batch, and the batch digest binds the non-owned payloads.
+    share_colocated_cache:
+        Under ``Deployment.SAME`` the agreement and execution roles that
+        share a physical machine share one
+        :class:`~repro.crypto.cache.VerifiedCertificateCache`: a machine
+        trusts its own verifications, so a request certificate checked by
+        the agreement role need not be re-checked by the co-located
+        execution role.  Has no effect under ``Deployment.DIFFERENT``
+        (separate machines never share verification state).
     """
 
     verified_cert_cache: bool = True
     cert_cache_capacity: int = 4096
     digest_memo: bool = True
     shard_verify_owned_only: bool = True
+    share_colocated_cache: bool = True
 
     def validate(self) -> None:
         if self.cert_cache_capacity < 1:
@@ -324,6 +384,7 @@ class SystemConfig:
     sharding: ShardingConfig = field(default_factory=ShardingConfig)
     perf: PerfConfig = field(default_factory=PerfConfig)
     batching: BatchingConfig = field(default_factory=BatchingConfig)
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -359,6 +420,7 @@ class SystemConfig:
         self.sharding.validate()
         self.perf.validate()
         self.batching.validate()
+        self.pipeline.validate()
 
     # ------------------------------------------------------------------ #
     # Cluster sizes (the paper's replication-cost arithmetic).
@@ -484,7 +546,15 @@ class SystemConfig:
     @staticmethod
     def sharded(num_shards: int, strategy: str = "hash",
                 range_boundaries: tuple = (), **overrides: object) -> "SystemConfig":
-        """Separated architecture with ``num_shards`` execution clusters."""
+        """Separated architecture with ``num_shards`` execution clusters.
+
+        Sharded deployments default to skew-aware concurrency (per-shard
+        pipeline windows sized like the global ``pipeline_depth``,
+        out-of-order shard delivery, and the RTT-derived gather window);
+        pass ``pipeline=PipelineConfig()`` to get the single global
+        watermark back (the pre-sharding behaviour, and the baseline the
+        skew benchmark compares against).
+        """
         defaults: dict = dict(
             f=1, g=1, deployment=Deployment.DIFFERENT,
             authentication=AuthenticationScheme.MAC,
@@ -493,6 +563,11 @@ class SystemConfig:
                                     range_boundaries=tuple(range_boundaries)),
         )
         defaults.update(overrides)
+        if "pipeline" not in defaults:
+            depth = defaults.get("pipeline_depth",
+                                 SystemConfig.__dataclass_fields__["pipeline_depth"].default)
+            defaults["pipeline"] = PipelineConfig(
+                per_shard_depth=int(depth), ooo_shard_delivery=True, rtt_gather=True)
         return SystemConfig(**defaults)
 
     @staticmethod

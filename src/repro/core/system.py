@@ -212,6 +212,20 @@ class SeparatedSystem(SimulatedSystem):
             self.agreement_replicas.append(replica)
             self.network.register(replica)
 
+        # ---------------- Co-located verification caches. -------------- #
+        # Under Deployment.SAME execution replica i runs on the machine of
+        # agreement replica i, and a machine trusts its own verifications:
+        # the two roles share one VerifiedCertificateCache, so a request
+        # certificate checked during agreement is a cache hit when the
+        # co-located execution role validates the ordered batch.  Execution
+        # replicas beyond the agreement cluster size (g > f deployments) get
+        # their own machines and keep their own caches.
+        if (config.deployment is Deployment.SAME
+                and config.perf.verified_cert_cache
+                and config.perf.share_colocated_cache):
+            for replica, node in zip(self.agreement_replicas, self.execution_nodes):
+                node.crypto.cache = replica.crypto.cache
+
         # ---------------- Privacy firewall registration. --------------- #
         if self.firewall is not None:
             for node in self.firewall.nodes:

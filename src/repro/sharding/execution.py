@@ -98,6 +98,14 @@ class ShardExecutionNode(ExecutionNode):
         if message.shard != self.shard:
             self.misroutes += 1
             return
+        if not self._within_acceptance_window(message.shard_seq):
+            # Bound the vote/pending tables: per-shard pipelining lets the
+            # agreement cluster run far ahead in aggregate, and a Byzantine
+            # agreement node could otherwise flood arbitrary future slots.
+            # Legitimate far-ahead traffic is redelivered by the router
+            # queues' retransmission timers once this replica catches up
+            # (or it catches up wholesale via a stable checkpoint).
+            return
         local = self._localize(message)
         if local is None:
             self.misroutes += 1
@@ -132,6 +140,20 @@ class ShardExecutionNode(ExecutionNode):
         self.handle_ordered_batch(local)
         if local.seq in self.pending or self.max_executed >= local.seq:
             self._route_accepted[seq] = digest
+
+    def _within_acceptance_window(self, shard_seq: int) -> bool:
+        """Whether a routed slot is near enough to buffer.
+
+        The window is generous (twice the checkpoint interval, or twice the
+        configured pipeline window if that is larger) so it never
+        constrains a healthy pipeline; it exists purely to keep the
+        route-vote and pending tables bounded against floods.
+        """
+        depth = self.config.pipeline.per_shard_depth
+        if depth is None:
+            depth = self.config.pipeline_depth
+        window = max(2 * self.config.checkpoint_interval, 2 * depth)
+        return shard_seq <= self.max_executed + window
 
     def _binding_vouched(self, votes: Dict[NodeId, bytes], digest: bytes) -> bool:
         """``f + 1`` agreement senders or ``g + 1`` shard peers vouch for it."""

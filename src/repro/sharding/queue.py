@@ -2,14 +2,23 @@
 
 Each agreement node hosts a :class:`ShardRouterQueue` instead of the plain
 :class:`~repro.core.message_queue.MessageQueue`.  The agreement library
-delivers committed batches in strict global sequence order on every correct
-replica (``AgreementReplica._deliver_in_order``), so each queue can assign
-per-shard sequence numbers *deterministically*: when the batch at global
-sequence ``n`` contains requests owned by shard ``s``, the queue increments
-its shard-``s`` counter and every correct agreement node computes the same
-``(s, shard_seq)`` pair.  No extra agreement round is needed to shard -- the
-paper's separation already provides the total order, and routing is a pure
-function of it.
+establishes the same total order of committed batches on every correct
+replica, so each queue can assign per-shard sequence numbers
+*deterministically*: when the batch at global sequence ``n`` contains
+requests owned by shard ``s``, the queue increments its shard-``s`` counter
+and every correct agreement node computes the same ``(s, shard_seq)`` pair.
+No extra agreement round is needed to shard -- the paper's separation
+already provides the total order, and routing is a pure function of it.
+
+Batches may be *staged* out of global order (``stage_batch``, used by
+``PipelineConfig.ooo_shard_delivery``: a replica hands a batch over the
+moment it commits locally, even while an earlier sequence number is still
+gathering commit votes).  The queue buffers such arrivals and releases each
+shard's parts along a **per-shard frontier over the global order**: a batch
+reaches shard ``s`` as soon as every earlier batch is staged -- there is no
+waiting for earlier batches to be *answered*, so a stalled shard never
+holds back another shard's feed -- and the shard-local sequence numbers
+assigned at release are a pure function of the committed prefix.
 
 A batch touching requests of several shards (possible when ``bundle_size >
 1``) is sent to *every* owning shard; each shard executes only the subset it
@@ -61,6 +70,11 @@ class ShardRouterQueue(MessageQueue):
 
         #: per-shard next local sequence number (deterministic across replicas)
         self._next_shard_seq: List[int] = [0] * self.num_shards
+        #: committed batches staged out of global order, keyed by global seq
+        self._staged: Dict[int, OrderedBatch] = {}
+        #: highest global sequence number released to the shard frontiers
+        #: (every batch at or below it has been routed)
+        self._released_seq = 0
         #: book-keeping for batches awaiting their reply, keyed by shard part
         self.shard_pending: Dict[ShardPart, PendingSend] = {}
         #: shard parts not yet answered, per shard: shard_seq -> global seq
@@ -83,20 +97,47 @@ class ShardRouterQueue(MessageQueue):
                       request_certificates: Tuple[Certificate, ...],
                       agreement_certificate: Certificate,
                       nondet: NonDetInput) -> None:
-        batch = OrderedBatch(seq=seq, view=view,
-                             request_certificates=tuple(request_certificates),
-                             agreement_certificate=agreement_certificate,
-                             nondet=nondet)
+        # The agreement replica's contiguous delivery pass; batches already
+        # staged (and released) through the out-of-order path are skipped.
+        self.stage_batch(seq=seq, view=view,
+                         request_certificates=request_certificates,
+                         agreement_certificate=agreement_certificate,
+                         nondet=nondet)
+
+    def stage_batch(self, seq: int, view: int,
+                    request_certificates: Tuple[Certificate, ...],
+                    agreement_certificate: Certificate,
+                    nondet: NonDetInput) -> None:
+        """Accept a *committed* batch in any global-sequence order.
+
+        Batches are buffered until every earlier global sequence number has
+        been staged, then released along the per-shard frontiers in global
+        order.  The shard-local sequence numbers assigned at release time
+        are therefore a pure function of the committed prefix -- identical
+        on every correct replica no matter how far out of order the commits
+        completed locally -- which is what keeps sharding agreement-free
+        even with ``PipelineConfig.ooo_shard_delivery``.
+        """
+        if seq <= self._released_seq or seq in self._staged:
+            return
         self.max_n = max(self.max_n, seq)
-        requests = [cert.payload for cert in request_certificates
-                    if isinstance(cert.payload, ClientRequest)]
-        shards = self.router.shards_of_requests(requests)
-        self._parts_outstanding[seq] = len(shards)
+        self._staged[seq] = OrderedBatch(
+            seq=seq, view=view,
+            request_certificates=tuple(request_certificates),
+            agreement_certificate=agreement_certificate, nondet=nondet)
+        while (self._released_seq + 1) in self._staged:
+            self._released_seq += 1
+            self._route_batch(self._staged.pop(self._released_seq))
+
+    def _route_batch(self, batch: OrderedBatch) -> None:
+        """Advance the per-shard frontiers over one released batch."""
+        shards = self.router.shards_of_certificates(batch.request_certificates)
+        self._parts_outstanding[batch.seq] = len(shards)
         for shard in shards:
             self._next_shard_seq[shard] += 1
             shard_seq = self._next_shard_seq[shard]
             envelope = ShardedBatch(shard=shard, shard_seq=shard_seq, batch=batch)
-            self._unanswered[shard][shard_seq] = seq
+            self._unanswered[shard][shard_seq] = batch.seq
             pending = PendingSend(batch=envelope,
                                   timeout_ms=self.config.timers.agreement_retransmit_ms)
             self.shard_pending[(shard, shard_seq)] = pending
@@ -165,9 +206,26 @@ class ShardRouterQueue(MessageQueue):
         answer global sequence 9 before a slow one answers 3), so the
         watermark is the highest *contiguously* answered global sequence
         number -- the conservative bound that keeps the paper's pipeline
-        invariant (at most ``P`` unanswered sequence numbers) intact.
+        invariant (at most ``P`` unanswered sequence numbers) intact.  With
+        ``PipelineConfig.per_shard_depth`` the agreement replica bypasses
+        this global floor and gates on :meth:`shard_outstanding` instead.
         """
         return self.highest_reply_seq
+
+    def seq_answered(self, seq: int) -> bool:
+        """Whether every shard part of global sequence ``seq`` is answered
+        (true above the contiguous watermark for out-of-order completions)."""
+        return seq <= self.highest_reply_seq or seq in self._answered
+
+    def shard_outstanding(self, shard: int) -> int:
+        """Batches released towards ``shard`` but not yet answered -- the
+        per-shard pipeline occupancy the skew-aware admission gate checks."""
+        return len(self._unanswered[shard])
+
+    def request_classifier(self):
+        """The deterministic request -> shard mapping (for the primary's
+        per-shard batching and admission)."""
+        return self.router.shard_of_request
 
     # ------------------------------------------------------------------ #
     # Reply certificates from the execution clusters.

@@ -65,3 +65,10 @@ class ShardRouter:
     def shards_of_requests(self, requests: List[ClientRequest]) -> List[int]:
         """Distinct owning shards of a batch's requests, in ascending order."""
         return sorted({self.shard_of_request(request) for request in requests})
+
+    def shards_of_certificates(self, certificates) -> List[int]:
+        """Distinct owning shards of a batch of request *certificates* (the
+        shape the agreement layer holds), ascending."""
+        return self.shards_of_requests(
+            [certificate.payload for certificate in certificates
+             if isinstance(certificate.payload, ClientRequest)])

@@ -147,6 +147,10 @@ class ShardedSystem(SimulatedSystem):
                 shard_threshold_groups=shard_threshold_groups,
             )
             replica.local = queue
+            if config.pipeline.per_shard_depth is not None:
+                # Skew-aware concurrency: single-shard bundles with per-shard
+                # AIMD controllers and per-shard admission windows.
+                replica.enable_per_shard_batching(self.router.shard_of_request)
             self.message_queues.append(queue)
             self.agreement_replicas.append(replica)
             self.network.register(replica)

@@ -30,9 +30,14 @@ class Timer:
 
     @property
     def active(self) -> bool:
-        """True while the callback has neither fired nor been cancelled."""
-        return not self._event.cancelled and self._event.time >= self._scheduler.now - 1e-9 \
-            and not self._event.fired
+        """True while the callback has neither fired nor been cancelled.
+
+        This is pure event state: a timer scheduled for the *current*
+        instant is still active until the scheduler actually runs it
+        (inferring liveness from a time comparison misreported exactly that
+        case when floating-point noise pushed ``now`` past the deadline).
+        """
+        return not self._event.cancelled and not self._event.fired
 
     def cancel(self) -> None:
         """Prevent the callback from firing (no-op if already fired)."""

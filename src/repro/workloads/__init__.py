@@ -4,6 +4,8 @@
   (Figure 3) with configurable request/reply sizes.
 * :mod:`repro.workloads.open_loop` -- the open-loop load generator used for
   the throughput/bundling experiment (Figure 5).
+* :mod:`repro.workloads.skew` -- hot-key (80/20 and Zipf) workloads plus
+  the fixed-window shard-affine driver for the skew benchmark.
 * :mod:`repro.workloads.andrew` -- the modified Andrew benchmark phases run
   against the NFS service (Figures 6 and 7).
 """
@@ -16,9 +18,23 @@ from .microbenchmark import (
     run_multishard_workload,
 )
 from .open_loop import OpenLoopResult, run_open_loop
+from .skew import (
+    SkewWindowResult,
+    equal_range_boundaries,
+    hot_range_operations,
+    run_skew_window,
+    shard_affine_clients,
+    zipf_operations,
+)
 from .andrew import AndrewResult, AndrewScale, andrew_phase_operations, run_andrew
 
 __all__ = [
+    "SkewWindowResult",
+    "equal_range_boundaries",
+    "hot_range_operations",
+    "run_skew_window",
+    "shard_affine_clients",
+    "zipf_operations",
     "LatencyResult",
     "ShardWorkloadResult",
     "multishard_operations",

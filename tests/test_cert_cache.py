@@ -190,3 +190,81 @@ class TestEndToEndEquivalence:
         # The cached hits show up in the crypto-op counters.
         totals = fast_system.crypto_op_totals()
         assert any(op.endswith("_cached") for op in totals)
+
+
+class TestColocatedCacheSharing:
+    """Deployment.SAME shares one cache between co-located roles: a machine
+    trusts its own verifications, so a fact proven while playing the
+    agreement role is a hit when the same machine's execution role checks
+    the same certificate."""
+
+    def test_cross_role_hit_with_shared_cache(self, keystore):
+        signer, _, _ = recording_provider(keystore, client_id(0))
+        agreement_role, _, agreement_ops = recording_provider(
+            keystore, agreement_id(0))
+        execution_role, execution_charges, execution_ops = recording_provider(
+            keystore, execution_id(0))
+        execution_role.cache = agreement_role.cache  # one machine, one cache
+
+        request = sample_request()
+        certificate = signer.new_certificate(
+            request, AuthenticationScheme.MAC, [agreement_id(0), execution_id(0)])
+        assert agreement_role.verify_certificate(certificate, 1, [client_id(0)])
+        assert agreement_ops.count("mac_verify") == 1
+
+        charges_before = list(execution_charges)
+        assert execution_role.verify_certificate(certificate, 1, [client_id(0)])
+        # The execution role never re-ran the MAC check: the whole-certificate
+        # fact proven by the co-located agreement role was a cache hit (the
+        # per-authenticator facts are shared the same way).  Only its one-time
+        # digest of the payload is charged, never the MAC cost.
+        assert execution_ops.count("mac_verify") == 0
+        assert execution_ops.count("certificate_cached") == 1
+        new_charges = execution_charges[len(charges_before):]
+        assert sum(new_charges) < CHEAP_CRYPTO.mac_ms
+
+    def test_separate_caches_pay_twice(self, keystore):
+        signer, _, _ = recording_provider(keystore, client_id(0))
+        agreement_role, _, _ = recording_provider(keystore, agreement_id(0))
+        execution_role, _, execution_ops = recording_provider(
+            keystore, execution_id(0))
+
+        request = sample_request()
+        certificate = signer.new_certificate(
+            request, AuthenticationScheme.MAC, [agreement_id(0), execution_id(0)])
+        assert agreement_role.verify_certificate(certificate, 1, [client_id(0)])
+        assert execution_role.verify_certificate(certificate, 1, [client_id(0)])
+        assert execution_ops.count("mac_verify") == 1  # paid its own check
+
+    def test_same_deployment_shares_and_different_does_not(self):
+        from repro.config import Deployment
+        from repro.core import SeparatedSystem
+
+        same = SeparatedSystem(make_config(deployment=Deployment.SAME),
+                               KeyValueStore, seed=21)
+        for replica, node in zip(same.agreement_replicas, same.execution_nodes):
+            assert node.crypto.cache is replica.crypto.cache
+        same.invoke(kv_put("k", "v"))
+        # The execution roles benefited from agreement-role verifications.
+        cached_ops = sum(
+            node.stats.crypto_ops.get("mac_verify_cached", 0)
+            + node.stats.crypto_ops.get("certificate_cached", 0)
+            for node in same.execution_nodes)
+        assert cached_ops > 0
+
+        different = SeparatedSystem(make_config(), KeyValueStore, seed=21)
+        for replica, node in zip(different.agreement_replicas,
+                                 different.execution_nodes):
+            assert node.crypto.cache is not replica.crypto.cache
+
+    def test_sharing_disabled_by_switch(self):
+        from repro.config import Deployment
+        from repro.core import SeparatedSystem
+
+        system = SeparatedSystem(
+            make_config(deployment=Deployment.SAME,
+                        perf=PerfConfig(share_colocated_cache=False)),
+            KeyValueStore, seed=22)
+        for replica, node in zip(system.agreement_replicas,
+                                 system.execution_nodes):
+            assert node.crypto.cache is not replica.crypto.cache

@@ -135,6 +135,47 @@ class TestScheduler:
         assert fired == [10.0]
         assert scheduler.now == 10.0
 
+    def test_timer_scheduled_for_current_instant_is_active(self):
+        """A zero-delay timer is active until the scheduler actually runs
+        it -- liveness is explicit event state, not a time comparison."""
+        scheduler = Scheduler()
+        fired = []
+        timer = scheduler.call_after(0.0, lambda: fired.append(scheduler.now))
+        assert timer.active
+        scheduler.step()
+        assert fired == [0.0]
+        assert not timer.active
+
+    def test_timer_active_survives_clock_noise(self):
+        """An unfired, uncancelled timer stays active even if the clock has
+        crept a hair past its deadline (the old ``now - 1e-9`` comparison
+        misreported exactly this case)."""
+        scheduler = Scheduler()
+        timer = scheduler.call_after(1.0, lambda: None)
+        scheduler.clock.advance_to(1.0 + 1e-12)
+        assert timer.active
+        timer.cancel()
+        assert not timer.active
+
+    def test_timer_checked_from_simultaneous_event_is_active(self):
+        """Two events at the same instant: while the first runs, the second
+        (same deadline, unfired) must still report active."""
+        scheduler = Scheduler()
+        seen = []
+        second = {}
+
+        def first():
+            seen.append(second["timer"].active)
+
+        def runs_later():
+            seen.append("fired")
+
+        first_timer = scheduler.call_at(5.0, first)
+        second["timer"] = scheduler.call_at(5.0, runs_later)
+        scheduler.run()
+        assert seen == [True, "fired"]
+        assert not first_timer.active
+
     def test_run_until_time_bound(self):
         scheduler = Scheduler()
         fired = []
