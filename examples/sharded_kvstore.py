@@ -9,11 +9,51 @@ both shards, shows that each shard holds only its own slice of the state,
 crashes one execution replica *in each shard* (within the per-shard ``g = 1``
 bound), and shows the service still answering correctly.
 
+The second act switches to range partitioning with **dynamic rebalancing**:
+a hot key range saturates one cluster, the primary's rebalancer notices in
+its per-shard load counters and splits the hot range through the agreement
+log, and the partition-map epoch advances while the service keeps answering
+-- every step observable in the printed load counters and epoch.
+
 Run with:  python examples/sharded_kvstore.py
 """
 
 from repro import ShardedSystem, SystemConfig
 from repro.apps.kvstore import KeyValueStore, get, put
+from repro.config import RebalanceConfig
+from repro.workloads import equal_range_boundaries
+from repro.workloads.skew import skew_key
+
+
+def rebalancing_demo() -> None:
+    key_space, num_shards = 64, 2
+    config = SystemConfig.sharded(
+        num_shards=num_shards, strategy="range",
+        range_boundaries=equal_range_boundaries(key_space, num_shards),
+        num_clients=4, checkpoint_interval=16,
+        rebalance=RebalanceConfig(enabled=True, check_interval_ms=50.0,
+                                  cooldown_ms=150.0, hot_ratio=1.5,
+                                  min_window_requests=16))
+    system = ShardedSystem(config, KeyValueStore, seed=7)
+
+    print("Dynamic rebalancing (range partitioning, load-triggered splits):")
+    print(f"  epoch {system.partition_epoch()}: {system.partition_map().describe()}")
+    print("Hammering the hottest quarter of the key space "
+          "(all on shard 0's range)...")
+    for i in range(96):
+        system.invoke(put(skew_key(i % 16), f"v{i}"), client_index=i % 4)
+        if i in (31, 63, 95):
+            window = system.shard_load_window()
+            print(f"  after {i + 1:3d} requests: epoch "
+                  f"{system.partition_epoch()}, load window {window}, "
+                  f"total routed {system.shard_load_total()}")
+    print(f"  final map (epoch {system.partition_epoch()}, "
+          f"{system.epoch_cuts()} cuts applied):")
+    print(f"    {system.partition_map().describe()}")
+    record = system.invoke(get(skew_key(3)))
+    owner = system.shard_of_key(skew_key(3))
+    print(f"  get {skew_key(3)} -> {record.result.value['value']!r} "
+          f"served by shard {owner} after the cut(s)")
 
 
 def main() -> None:
@@ -56,6 +96,12 @@ def main() -> None:
     print()
     print(f"All replies correct with one replica down per shard; "
           f"total requests executed: {system.total_requests_executed()}.")
+    print(f"Per-shard load counters: {system.shard_load_total()}   "
+          f"partition-map epoch: {system.partition_epoch()} "
+          f"(hash partitioning never rebalances)")
+
+    print()
+    rebalancing_demo()
 
 
 if __name__ == "__main__":

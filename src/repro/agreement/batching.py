@@ -45,6 +45,10 @@ class StaticBundleController:
     def on_take(self, backlog_before: int, taken: int, in_flight: int = 0) -> None:
         return None
 
+    def fill_timeout_scale(self) -> float:
+        """Static bundles keep the base batch-timeout fill window."""
+        return 1.0
+
 
 class AdaptiveBundleController:
     """AIMD bundle sizing on queue depth.
@@ -99,6 +103,21 @@ class AdaptiveBundleController:
                              self._size * self.config.decrease_factor)
             self.decreases += 1
 
+    def fill_timeout_scale(self) -> float:
+        """Per-shard batch timeouts: stretch a congested shard's fill window.
+
+        The grown bundle size *is* the controller's memory of sustained
+        backlog (AIMD only grows it while takes leave work behind), so the
+        partial-bundle flush window stretches proportionally -- a hot shard
+        under deep backlog waits up to ``timeout_scale_max`` times the base
+        window for a fuller, better-amortised bundle, while a cold shard
+        (bundle pinned at the minimum) keeps the base flush latency.
+        """
+        if self.config.timeout_scale_max <= 1.0:
+            return 1.0
+        heat = self.current / max(1, self.config.min_bundle)
+        return min(self.config.timeout_scale_max, max(1.0, heat))
+
 
 def make_bundle_controller(config: SystemConfig):
     """Build the bundle-size controller selected by ``config.batching``."""
@@ -136,24 +155,33 @@ class Batcher:
 
     def __init__(self, bundle_size: int = 1, controller=None,
                  classifier: Optional[Callable[[Certificate], int]] = None,
-                 controller_factory: Optional[Callable[[], object]] = None) -> None:
+                 controller_factory: Optional[Callable[[], object]] = None,
+                 demote_idle_ms: Optional[float] = None) -> None:
         #: the shared (low-load) controller; ``bundle_size`` only seeds the
         #: default static controller.
         self.controller = controller or StaticBundleController(bundle_size)
         self.classifier = classifier
         self._controller_factory = controller_factory
+        #: sustained-idle horizon after which a per-shard controller is
+        #: demoted back to the shared one (None = keep forever)
+        self.demote_idle_ms = demote_idle_ms
         #: per-shard controllers, created lazily on first congestion
         self._shard_controllers: Dict[int, object] = {}
+        #: virtual time of each shard's last add/take (demotion clock)
+        self._last_active: Dict[Optional[int], float] = {}
         #: pending certificates, one FIFO per shard (key None = unclassified)
         self._queues: Dict[Optional[int], List[Certificate]] = {}
         #: (client, timestamp) -> owning queue key, for dedupe and removal
         self._keys: Dict[Tuple[NodeId, int], Optional[int]] = {}
         #: (client, timestamp) -> global arrival index (cross-shard FIFO)
         self._arrival_of: Dict[Tuple[NodeId, int], int] = {}
+        #: (client, timestamp) -> arrival virtual time (per-shard flush clocks)
+        self._arrival_time: Dict[Tuple[NodeId, int], float] = {}
         self._arrivals = 0
         self.total_enqueued = 0
         self.total_batches = 0
         self.largest_batch = 0
+        self.demotions = 0
 
     @property
     def bundle_size(self) -> int:
@@ -182,16 +210,37 @@ class Batcher:
             return None
         return self.classifier(certificate)
 
-    def add(self, certificate: Certificate) -> bool:
+    def _maybe_demote(self, shard: Optional[int], now: float) -> None:
+        """Return a sustained-idle shard to the shared low-load controller.
+
+        A one-time burst promotes a shard to its own AIMD controller; once
+        the burst is long over, the private controller's grown bundle size
+        is stale memory -- the next lone request would wait behind a bundle
+        that will never fill.  Demotion forgets it: the shard re-promotes
+        (from scratch) the next time it shows genuine congestion.
+        """
+        if self.demote_idle_ms is None or shard is None:
+            return
+        if shard not in self._shard_controllers:
+            return
+        last = self._last_active.get(shard)
+        if last is not None and now - last >= self.demote_idle_ms:
+            del self._shard_controllers[shard]
+            self.demotions += 1
+
+    def add(self, certificate: Certificate, now: float = 0.0) -> bool:
         """Enqueue a request certificate; returns False if it was a duplicate."""
         key = self._key(certificate)
         if key in self._keys:
             return False
         shard = self._shard_of(certificate)
+        self._maybe_demote(shard, now)
         self._keys[key] = shard
         self._queues.setdefault(shard, []).append(certificate)
         self._arrival_of[key] = self._arrivals
+        self._arrival_time[key] = now
         self._arrivals += 1
+        self._last_active[shard] = now
         self.total_enqueued += 1
         return True
 
@@ -217,6 +266,31 @@ class Batcher:
 
     def backlog(self, shard: Optional[int]) -> int:
         return len(self._queues.get(shard, ()))
+
+    # ------------------------------------------------------------------ #
+    # Per-shard flush deadlines (``BatchingConfig.timeout_scale_max``).
+    # ------------------------------------------------------------------ #
+
+    def head_arrival_ms(self, shard: Optional[int]) -> float:
+        """Arrival time of the queue's oldest pending request."""
+        return self._arrival_time[self._key(self._queues[shard][0])]
+
+    def flush_deadline(self, shard: Optional[int], base_timeout_ms: float) -> float:
+        """When the queue's partial bundle must be flushed: head arrival
+        plus the owning controller's (possibly stretched) fill window."""
+        scale = self.controller_for(shard).fill_timeout_scale()
+        return self.head_arrival_ms(shard) + base_timeout_ms * scale
+
+    def due_shards(self, now: float, base_timeout_ms: float) -> List[Optional[int]]:
+        """Queues whose flush deadline has passed, oldest head first."""
+        return [shard for shard in self.shards()
+                if self.flush_deadline(shard, base_timeout_ms) <= now + 1e-9]
+
+    def next_flush_deadline(self, base_timeout_ms: float) -> Optional[float]:
+        """Earliest flush deadline over all pending queues (None if empty)."""
+        deadlines = [self.flush_deadline(shard, base_timeout_ms)
+                     for shard in self.shards()]
+        return min(deadlines) if deadlines else None
 
     def has_full_bundle(self) -> bool:
         return bool(self.full_shards())
@@ -246,7 +320,7 @@ class Batcher:
     # ------------------------------------------------------------------ #
 
     def take(self, limit: Optional[int] = None, in_flight: int = 0,
-             shard=ANY_SHARD) -> List[Certificate]:
+             shard=ANY_SHARD, now: float = 0.0) -> List[Certificate]:
         """Remove and return up to ``limit`` (default: the owning
         controller's bundle size) requests from one queue.
 
@@ -261,6 +335,8 @@ class Batcher:
         queue = self._queues.get(shard)
         if not queue:
             return []
+        self._maybe_demote(shard, now)
+        self._last_active[shard] = now
         backlog = len(queue)
         count = min(backlog, limit if limit is not None
                     else self.bundle_size_for(shard))
@@ -274,6 +350,7 @@ class Batcher:
             key = self._key(certificate)
             del self._keys[key]
             del self._arrival_of[key]
+            del self._arrival_time[key]
         self.total_batches += 1
         self.largest_batch = max(self.largest_batch, count)
         self._note_take(shard, backlog, count, in_flight)
@@ -300,6 +377,7 @@ class Batcher:
             return
         shard = self._keys.pop(key)
         del self._arrival_of[key]
+        del self._arrival_time[key]
         queue = self._queues.get(shard, [])
         queue[:] = [cert for cert in queue if self._key(cert) != key]
         if not queue:

@@ -34,6 +34,10 @@ class LogEntry:
     #: tracks the contiguous in-order bookkeeping pass)
     staged: bool = False
     delivered: bool = False
+    #: the batch carries a config operation (e.g. a partition-map change):
+    #: its position in the log is an epoch cut, and at most one such entry
+    #: may be in flight at a time (the proposer checks the log first)
+    config_op: bool = False
 
     def batch_digest(self) -> Optional[bytes]:
         if self.pre_prepare is None:
@@ -90,6 +94,29 @@ class AgreementLog:
             if current is None or view > current.view:
                 best[entry_seq] = entry
         return [best[s] for s in sorted(best)]
+
+    # ------------------------------------------------------------------ #
+    # Config operations (partition-map changes).
+    # ------------------------------------------------------------------ #
+
+    def note_config_op(self, view: int, seq: int) -> None:
+        """Mark the entry at ``(view, seq)`` as carrying a config operation."""
+        self.entry(view, seq).config_op = True
+
+    def pending_config_seqs(self) -> List[int]:
+        """Sequence numbers of config operations not yet delivered.
+
+        The map-change proposer refuses to order a new change while one is
+        in flight: two concurrent cuts would make the second a cut-time
+        no-op anyway (its ``parent_epoch`` goes stale), so serialising them
+        here avoids burning sequence numbers on dead proposals.
+        """
+        return sorted({seq for (_, seq), entry in self._entries.items()
+                       if entry.config_op and not entry.delivered
+                       and seq > self.last_delivered_seq})
+
+    def has_pending_config_op(self) -> bool:
+        return bool(self.pending_config_seqs())
 
     # ------------------------------------------------------------------ #
     # Watermarks.

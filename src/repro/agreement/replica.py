@@ -35,6 +35,7 @@ from ..messages.agreement import (
     AgreementCertBody,
     AgreementCheckpoint,
     CommitMsg,
+    ConfigOperation,
     NewView,
     Prepare,
     PreparedProof,
@@ -109,6 +110,10 @@ class AgreementReplica(Process):
         #: deterministic request -> shard mapping (set by the sharded system
         #: when per-shard pipelining is configured; None = global pipeline)
         self._shard_classifier = None
+        #: rebalance controller + load observer (set by the sharded system
+        #: when dynamic rebalancing is configured)
+        self._rebalancer = None
+        self._rebalance_observe = None
         #: absolute bound on the current idle-gather window (None when no
         #: idle gather is in progress)
         self._gather_deadline: Optional[float] = None
@@ -139,17 +144,51 @@ class AgreementReplica(Process):
         """Partition the pending-request FIFO by destination shard.
 
         ``classifier`` maps a :class:`ClientRequest` to its owning shard
-        (the shard router's deterministic mapping).  The primary then forms
-        single-shard bundles, sizes each shard's bundles with its own AIMD
-        controller, and admits sequence numbers against per-shard pipeline
-        windows (:attr:`repro.config.PipelineConfig.per_shard_depth`)
-        instead of the global contiguous watermark.
+        (the shard router's deterministic mapping; with rebalancing it reads
+        the router queue's live epoch, so freshly admitted requests queue by
+        the current map).  The primary then forms single-shard bundles,
+        sizes each shard's bundles with its own AIMD controller, and admits
+        sequence numbers against per-shard pipeline windows
+        (:attr:`repro.config.PipelineConfig.per_shard_depth`) instead of the
+        global contiguous watermark.
         """
         self._shard_classifier = classifier
         self.batcher = Batcher(
             controller=make_bundle_controller(self.config),
             classifier=lambda cert: classifier(cert.payload),
-            controller_factory=lambda: make_bundle_controller(self.config))
+            controller_factory=lambda: make_bundle_controller(self.config),
+            demote_idle_ms=self.config.batching.demote_idle_ms)
+
+    def attach_rebalancer(self, controller, observe) -> None:
+        """Install a rebalance controller (``repro.sharding.rebalance``).
+
+        ``observe()`` returns ``(load_window, current_map)`` from the local
+        shard router queue; the replica polls it on a timer and -- when it
+        is the primary -- orders the controller's proposed map change
+        through the agreement log as a config operation.  Backups carry the
+        controller too (any of them may become primary) but stay silent.
+        """
+        self._rebalancer = controller
+        self._rebalance_observe = observe
+        self._arm_rebalance_timer()
+
+    def _arm_rebalance_timer(self) -> None:
+        self.set_timer(self.config.rebalance.check_interval_ms,
+                       self._on_rebalance_check,
+                       label=f"{self.node_id}:rebalance-check")
+
+    def _on_rebalance_check(self) -> None:
+        if self._rebalancer is None:
+            return
+        self._arm_rebalance_timer()
+        if not self.is_primary or self._view_changing:
+            return
+        if self.log.has_pending_config_op():
+            return  # one epoch cut at a time
+        window, pmap = self._rebalance_observe()
+        change = self._rebalancer.propose(window, pmap, now=self.now)
+        if change is not None and self.propose_map_change(change):
+            self._rebalancer.note_ordered(change, now=self.now)
 
     @property
     def _per_shard_admission(self) -> bool:
@@ -213,7 +252,7 @@ class AgreementReplica(Process):
         self._admit_request(certificate, request)
 
     def _admit_request(self, certificate: Certificate, request: ClientRequest) -> None:
-        added = self.batcher.add(certificate)
+        added = self.batcher.add(certificate, now=self.now)
         if not added:
             return
         self._arm_request_deadline(request)
@@ -333,14 +372,40 @@ class AgreementReplica(Process):
         if self.is_primary and not self._view_changing:
             self.maybe_make_batch()
 
+    @property
+    def _per_shard_timeouts(self) -> bool:
+        """Per-shard batch timeouts (``BatchingConfig.timeout_scale_max``):
+        a congested shard's partial bundle gets a stretched fill window
+        while cold shards keep the base flush latency."""
+        return (self.config.batching.timeout_scale_max > 1.0
+                and self._shard_classifier is not None)
+
     def _on_batch_timeout(self) -> None:
         if not self.is_primary or self._view_changing:
+            return
+        base = self.config.timers.batch_timeout_ms
+        if self._per_shard_timeouts:
+            # Flush full bundles everywhere, but partial bundles only on the
+            # shards whose own fill window has expired -- a hot shard's
+            # stretched window is still running, so its partial bundle keeps
+            # gathering while cold shards flush at the base latency.
+            self._drain_bundles(full_only=True)
+            for shard in self.batcher.due_shards(self.now, base):
+                if self._can_start(self.next_seq, shard=shard):
+                    self._make_batch(shard=shard)
+            if self.batcher.has_work():
+                deadline = self.batcher.next_flush_deadline(base)
+                delay = base if deadline is None else min(
+                    max(deadline - self.now, 0.05 * base), base)
+                self._batch_timer = self.set_timer(
+                    delay, self._on_batch_timeout,
+                    label=f"{self.node_id}:batch-timeout")
             return
         self._drain_bundles(full_only=False)
         if self.batcher.has_work():
             # Pipeline is full: try again shortly.
             self._batch_timer = self.set_timer(
-                self.config.timers.batch_timeout_ms,
+                base,
                 self._on_batch_timeout,
                 label=f"{self.node_id}:batch-timeout",
             )
@@ -439,21 +504,54 @@ class AgreementReplica(Process):
             in_flight = self._shard_requests_in_flight(shard)
         else:
             in_flight = self._requests_in_flight()
-        requests = self.batcher.take(in_flight=in_flight, shard=shard)
+        requests = self.batcher.take(in_flight=in_flight, shard=shard,
+                                     now=self.now)
         if not requests:
             return
         # Any take ends the current idle-gather episode; the next gather
         # starts a fresh batch-timeout bound (leaving the old deadline in
         # place would shrink later gather windows to zero once it passed).
         self._gather_deadline = None
-        seq = self.next_seq
-        self.next_seq += 1
-        self._inflight_batch_sizes[seq] = len(requests)
-        self._batch_sent_at[seq] = self.now
+        seq = self._order_batch(requests)
         if (self._shard_classifier is not None and shard is not ANY_SHARD
                 and shard is not None):
             # Per-shard queues are single-shard: the queue key is the owner.
             self._inflight_shard_requests[seq] = {shard: len(requests)}
+
+    def propose_map_change(self, change: ConfigOperation) -> bool:
+        """Order a partition-map change through the agreement log.
+
+        The change rides the normal agreement path as a single-certificate
+        batch signed by this primary; its sequence number is the epoch cut.
+        Admission bypasses the per-shard pipeline windows (the cut must not
+        queue behind the very hot shard it is trying to relieve) but still
+        respects the log's ``[h, h + L]`` watermark window, and at most one
+        config operation may be in flight at a time -- a second concurrent
+        cut would deterministically no-op anyway (its parent epoch goes
+        stale), so proposing it would burn a sequence number for nothing.
+        """
+        if not self.is_primary or self._view_changing:
+            return False
+        if self.log.has_pending_config_op():
+            return False
+        if self.next_seq > self.log.high_watermark:
+            return False
+        certificate = self.crypto.new_certificate(
+            change,
+            AuthenticationScheme.SIGNATURE
+            if self.config.authentication is AuthenticationScheme.SIGNATURE
+            else AuthenticationScheme.MAC,
+            self.cert_verifiers)
+        seq = self._order_batch([certificate])
+        self.log.note_config_op(self.view, seq)
+        return True
+
+    def _order_batch(self, requests: List[Certificate]) -> int:
+        """Assign the next sequence number to ``requests`` and pre-prepare it."""
+        seq = self.next_seq
+        self.next_seq += 1
+        self._inflight_batch_sizes[seq] = len(requests)
+        self._batch_sent_at[seq] = self.now
         batch_digest = self._batch_digest(requests)
         nondet = self.nondet.propose(self.now, seed=batch_digest)
         pre_prepare = PrePrepare(view=self.view, seq=seq, batch_digest=batch_digest,
@@ -464,6 +562,7 @@ class AgreementReplica(Process):
         self.multicast(self.agreement_ids, pre_prepare)
         # The primary's pre-prepare counts as its prepare.
         self._try_prepared(entry)
+        return seq
 
     def _batch_digest(self, requests: List[Certificate]) -> bytes:
         request_digests = [self.crypto.payload_digest(cert.payload) for cert in requests]
@@ -489,6 +588,8 @@ class AgreementReplica(Process):
         if not self._validate_batch(message):
             return
         entry.pre_prepare = message
+        if self._is_config_batch(message.requests):
+            entry.config_op = True
         self.nondet.accept(message.nondet)
         prepare = Prepare(view=self.view, seq=message.seq,
                           batch_digest=message.batch_digest, replica=self.node_id)
@@ -500,6 +601,8 @@ class AgreementReplica(Process):
         """Check request authenticity, digest binding, and nondet sanity."""
         if not message.requests:
             return False
+        if self._is_config_batch(message.requests):
+            return self._validate_config_batch(message)
         for certificate in message.requests:
             request = certificate.payload
             if not isinstance(request, ClientRequest):
@@ -508,6 +611,37 @@ class AgreementReplica(Process):
                 return False
             if not self.crypto.verify_certificate(certificate, 1, [request.client]):
                 return False
+        if self._batch_digest(list(message.requests)) != message.batch_digest:
+            return False
+        if not self.nondet.sanity_check(message.nondet, self.now):
+            return False
+        return True
+
+    @staticmethod
+    def _is_config_batch(requests: Tuple[Certificate, ...]) -> bool:
+        """Whether a batch carries a config operation (exactly one cert
+        whose payload is a :class:`ConfigOperation`; a config op smuggled
+        into a mixed batch is rejected outright -- the cut semantics need
+        the operation alone at its sequence number)."""
+        if any(isinstance(cert.payload, ConfigOperation) for cert in requests):
+            return (len(requests) == 1
+                    and isinstance(requests[0].payload, ConfigOperation))
+        return False
+
+    def _validate_config_batch(self, message: PrePrepare) -> bool:
+        """Validate a config-operation (map-change) batch.
+
+        Structural checks only: the certificate must be signed by the
+        proposing primary and bound into the batch digest.  *Semantic*
+        validity -- does the change still apply to the current map? -- is
+        deliberately deferred to the cut (release) point, where every
+        correct node evaluates it at the same position in the agreed order;
+        judging it here against each backup's possibly-lagging epoch would
+        let timing decide what must be deterministic.
+        """
+        certificate = message.requests[0]
+        if not self.crypto.verify_certificate(certificate, 1, [message.primary]):
+            return False
         if self._batch_digest(list(message.requests)) != message.batch_digest:
             return False
         if not self.nondet.sanity_check(message.nondet, self.now):
@@ -658,6 +792,8 @@ class AgreementReplica(Process):
         self.requests_delivered += len(entry.pre_prepare.requests)
         for request_cert in entry.pre_prepare.requests:
             request = request_cert.payload
+            if not isinstance(request, ClientRequest):
+                continue  # config operations carry no client bookkeeping
             previous = self.ordered_timestamp.get(request.client, -1)
             self.ordered_timestamp[request.client] = max(previous, request.timestamp)
             self.batcher.remove(request.client, request.timestamp)
@@ -818,6 +954,8 @@ class AgreementReplica(Process):
             entry = self.log.entry(pre_prepare.view, pre_prepare.seq)
             if entry.pre_prepare is None:
                 entry.pre_prepare = pre_prepare
+            if self._is_config_batch(pre_prepare.requests):
+                entry.config_op = True
             if self.node_id != pre_prepare.primary:
                 prepare = Prepare(view=pre_prepare.view, seq=pre_prepare.seq,
                                   batch_digest=pre_prepare.batch_digest,

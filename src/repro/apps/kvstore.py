@@ -116,6 +116,27 @@ class KeyValueStore(StateMachine):
         self.operations_applied = 0
 
     # ------------------------------------------------------------------ #
+    # Partial-state handoff (dynamic shard rebalancing).
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _in_range(key: str, lo: Optional[str], hi: Optional[str]) -> bool:
+        return (lo is None or key >= lo) and (hi is None or key < hi)
+
+    def extract_range(self, lo: Optional[str], hi: Optional[str]) -> bytes:
+        moved = {key: self._data[key] for key in sorted(self._data)
+                 if self._in_range(key, lo, hi)}
+        for key in moved:
+            del self._data[key]
+        return json.dumps({"entries": moved}, sort_keys=True).encode()
+
+    def install_range(self, lo: Optional[str], hi: Optional[str],
+                      data: bytes) -> None:
+        for key in [k for k in self._data if self._in_range(k, lo, hi)]:
+            del self._data[key]
+        self._data.update(json.loads(data.decode())["entries"])
+
+    # ------------------------------------------------------------------ #
     # Direct inspection (tests only; not part of the replicated API).
     # ------------------------------------------------------------------ #
 

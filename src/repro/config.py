@@ -218,6 +218,74 @@ class PipelineConfig:
 
 
 @dataclass(frozen=True)
+class RebalanceConfig:
+    """Dynamic shard rebalancing (``repro.sharding.rebalance``).
+
+    The shard boundaries chosen at construction time are only right for the
+    workload they were chosen for.  When rebalancing is enabled, the primary
+    watches the per-shard load counters its shard router already keeps,
+    proposes a partition-map change (split a hot key range, merge two cold
+    adjacent ones, or move a boundary) through the ordinary agreement log as
+    a config operation, and the change takes effect at a deterministic cut
+    in the agreed order: batches at or below the map-change batch route by
+    the old epoch, batches above it by the new one, and the moved key
+    ranges' state is handed off between execution clusters at the cut.
+
+    Rebalancing requires the ``"range"`` sharding strategy -- hash
+    partitioning has no boundaries to move.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  Off by default: a static deployment behaves exactly
+        as before (and stays on partition-map epoch 0 forever).
+    check_interval_ms:
+        How often the primary evaluates the load counters.
+    cooldown_ms:
+        Minimum virtual time between two proposed map changes; epoch cuts
+        are cheap but not free (each one hands off state), so the
+        controller must not thrash.
+    hot_ratio:
+        A shard is *hot* when its window load is at least ``hot_ratio``
+        times the mean shard load; a hot shard triggers a split of its
+        busiest range towards the least-loaded shard.
+    cold_ratio:
+        Two *adjacent* ranges are merged when each carries at most
+        ``cold_ratio`` times the mean shard load and the map holds more
+        ranges than execution clusters.
+    min_window_requests:
+        Minimum number of routed requests in the observation window before
+        the controller acts (avoids deciding on noise).
+    max_ranges:
+        Upper bound on the number of key ranges a sequence of splits may
+        create (bounds the partition-map size).
+    """
+
+    enabled: bool = False
+    check_interval_ms: float = 100.0
+    cooldown_ms: float = 400.0
+    hot_ratio: float = 2.0
+    cold_ratio: float = 0.5
+    min_window_requests: int = 64
+    max_ranges: int = 64
+
+    def validate(self) -> None:
+        if self.check_interval_ms <= 0 or self.cooldown_ms < 0:
+            raise ConfigurationError(
+                "rebalance check_interval_ms must be positive and "
+                "cooldown_ms non-negative"
+            )
+        if self.hot_ratio < 1.0:
+            raise ConfigurationError("hot_ratio must be at least 1.0")
+        if not 0.0 < self.cold_ratio <= 1.0:
+            raise ConfigurationError("cold_ratio must be in (0, 1]")
+        if self.min_window_requests < 1:
+            raise ConfigurationError("min_window_requests must be at least 1")
+        if self.max_ranges < 2:
+            raise ConfigurationError("max_ranges must be at least 2")
+
+
+@dataclass(frozen=True)
 class PerfConfig:
     """Hot-path fast-path switches (the verification/encoding fast path).
 
@@ -299,6 +367,18 @@ class BatchingConfig:
     #: ``min_bundle`` every take happens at arrival time and this window is
     #: never armed, so light-load latency is untouched.
     gather_ms: float = 6.0
+    #: per-shard batch *timeouts*: a shard's partial-bundle fill window may
+    #: stretch up to ``timeout_scale_max`` times ``timers.batch_timeout_ms``
+    #: while the shard is congested -- a hot shard under deep backlog can
+    #: afford to wait for a fuller (better-amortised) bundle, while a cold
+    #: shard keeps the base flush latency.  ``1.0`` disables the stretch and
+    #: keeps the single shared flush timer behaviour.
+    timeout_scale_max: float = 1.0
+    #: demote a per-shard AIMD controller back to the shared low-load
+    #: controller after this much idle time on its shard (virtual ms); a
+    #: one-time burst then does not leave the shard on a private controller
+    #: forever.  ``None`` never demotes.
+    demote_idle_ms: Optional[float] = None
 
     def validate(self) -> None:
         if self.mode not in ("static", "adaptive"):
@@ -317,6 +397,12 @@ class BatchingConfig:
             raise ConfigurationError("congestion_requests must be at least 1")
         if self.gather_ms <= 0:
             raise ConfigurationError("gather_ms must be positive")
+        if self.timeout_scale_max < 1.0:
+            raise ConfigurationError("timeout_scale_max must be at least 1.0")
+        if self.demote_idle_ms is not None and self.demote_idle_ms <= 0:
+            raise ConfigurationError(
+                "demote_idle_ms must be positive (or None to never demote)"
+            )
 
 
 @dataclass(frozen=True)
@@ -382,6 +468,7 @@ class SystemConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     timers: TimerConfig = field(default_factory=TimerConfig)
     sharding: ShardingConfig = field(default_factory=ShardingConfig)
+    rebalance: RebalanceConfig = field(default_factory=RebalanceConfig)
     perf: PerfConfig = field(default_factory=PerfConfig)
     batching: BatchingConfig = field(default_factory=BatchingConfig)
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
@@ -415,9 +502,15 @@ class SystemConfig:
                 "the shard router must read operation keys, which the firewall "
                 "deployment encrypts end-to-end"
             )
+        if self.rebalance.enabled and self.sharding.strategy != "range":
+            raise ConfigurationError(
+                "dynamic shard rebalancing requires the 'range' sharding "
+                "strategy (hash partitioning has no boundaries to move)"
+            )
         self.network.validate()
         self.timers.validate()
         self.sharding.validate()
+        self.rebalance.validate()
         self.perf.validate()
         self.batching.validate()
         self.pipeline.validate()

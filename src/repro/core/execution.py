@@ -47,12 +47,19 @@ from ..util.ids import NodeId, Role
 
 @dataclass
 class StoredCheckpoint:
-    """A checkpoint (application state + reply table) awaiting or past stability."""
+    """A checkpoint (application state + reply table) awaiting or past stability.
+
+    ``extra`` carries subsystem state beyond the application -- the sharded
+    execution nodes store their partition-map epoch there, so a replica
+    catching up by state transfer lands in the right epoch, not just the
+    right application state.  It is covered by the checkpoint digest.
+    """
 
     seq: int
     app_state: bytes
     reply_table: bytes
     digest: bytes
+    extra: bytes = b""
     proof: Optional[Certificate] = None
 
     @property
@@ -189,7 +196,13 @@ class ExecutionNode(Process):
 
     def _process_pending(self) -> None:
         while (self.max_executed + 1) in self.pending:
-            batch = self.pending.pop(self.max_executed + 1)
+            batch = self.pending[self.max_executed + 1]
+            if not self._ready_to_execute(batch):
+                # Execution is gated on something other than ordering (e.g.
+                # a sharded node awaiting a range handoff at an epoch cut);
+                # whoever clears the gate re-enters this loop.
+                return
+            del self.pending[self.max_executed + 1]
             self._execute_batch(batch)
         # A catch-up step (batch or state transfer) may land below the
         # oldest pending batch; keep pulling the next missing sequence number
@@ -197,6 +210,12 @@ class ExecutionNode(Process):
         # re-trigger the gap check.
         if self.pending and (self.max_executed + 1) < min(self.pending):
             self._request_missing(self.max_executed + 1)
+
+    def _ready_to_execute(self, batch: OrderedBatch) -> bool:
+        """Whether the next in-order batch may execute now (hook for
+        subclasses that must gate execution on external state, like the
+        sharded nodes' range handoff at an epoch cut)."""
+        return True
 
     def _request_missing(self, seq: int) -> None:
         if self._fetching.get(seq):
@@ -319,15 +338,36 @@ class ExecutionNode(Process):
     # Checkpoints and proof of stability.
     # ------------------------------------------------------------------ #
 
-    def _take_checkpoint(self, seq: int) -> None:
-        app_state = self.app.checkpoint()
-        reply_table = pickle.dumps(sorted(
+    def _serialized_reply_table(self) -> bytes:
+        """Canonical serialization of the client-dedup reply table.
+
+        Shared by checkpoint digests and (in the sharded subclass) range
+        handoffs: both sides of the exactly-once argument must encode the
+        table identically.
+        """
+        return pickle.dumps(sorted(
             (client.name, reply) for client, reply in self.reply_table.items()
         ))
-        digest = self.crypto.digest(app_state + reply_table,
-                                    size_hint=len(app_state) + len(reply_table))
+
+    def _checkpoint_extra(self) -> bytes:
+        """Subsystem state folded into checkpoints beyond the application
+        (the sharded nodes serialize their partition-map epoch here)."""
+        return b""
+
+    def _restore_extra(self, extra: bytes) -> None:
+        """Reinstall :meth:`_checkpoint_extra` state after a state transfer."""
+        return None
+
+    def _take_checkpoint(self, seq: int) -> None:
+        app_state = self.app.checkpoint()
+        reply_table = self._serialized_reply_table()
+        extra = self._checkpoint_extra()
+        digest = self.crypto.digest(
+            app_state + reply_table + extra,
+            size_hint=len(app_state) + len(reply_table) + len(extra))
         checkpoint = StoredCheckpoint(seq=seq, app_state=app_state,
-                                      reply_table=reply_table, digest=digest)
+                                      reply_table=reply_table, digest=digest,
+                                      extra=extra)
         self.checkpoints[seq] = checkpoint
         authenticator = self.crypto.mac_authenticator(
             checkpoint_payload(seq, digest), self.execution_ids)
@@ -396,7 +436,8 @@ class ExecutionNode(Process):
                                             app_state=checkpoint.app_state,
                                             reply_table=checkpoint.reply_table,
                                             proof=proof_message,
-                                            replica=self.node_id))
+                                            replica=self.node_id,
+                                            extra=checkpoint.extra))
             return
         batch = self.recent_batches.get(message.seq) or self.pending.get(message.seq)
         if batch is not None:
@@ -407,8 +448,10 @@ class ExecutionNode(Process):
             return
         if message.seq <= self.max_executed:
             return
-        digest = self.crypto.digest(message.app_state + message.reply_table,
-                                    size_hint=len(message.app_state) + len(message.reply_table))
+        digest = self.crypto.digest(
+            message.app_state + message.reply_table + message.extra,
+            size_hint=(len(message.app_state) + len(message.reply_table)
+                       + len(message.extra)))
         proof = message.proof
         if proof.state_digest != digest or proof.seq != message.seq:
             return
@@ -426,9 +469,11 @@ class ExecutionNode(Process):
             restored[reply.client] = reply
         self.reply_table = restored
         self.max_executed = message.seq
+        self._restore_extra(message.extra)
         self.pending = {seq: b for seq, b in self.pending.items() if seq > message.seq}
         checkpoint = StoredCheckpoint(seq=message.seq, app_state=message.app_state,
                                       reply_table=message.reply_table, digest=digest,
+                                      extra=message.extra,
                                       proof=proof.certificate)
         self.checkpoints[message.seq] = checkpoint
         self.stable_checkpoint = checkpoint

@@ -24,6 +24,19 @@ from ..statemachine.nondet import NonDetInput
 from ..util.ids import NodeId
 
 
+class ConfigOperation(Message):
+    """Marker base for system config operations ordered through the log.
+
+    A config operation (e.g. a partition-map change from
+    :mod:`repro.sharding.rebalance`) rides the ordinary agreement path as a
+    single-certificate batch signed by the proposing primary: its position
+    in the agreed order is what gives the reconfiguration a deterministic
+    cut point.  The agreement replica recognises these payloads by type --
+    they are not client requests, carry no client timestamp, and never
+    enter the reply bookkeeping.
+    """
+
+
 @dataclass(frozen=True)
 class AgreementCertBody(Message):
     """Payload of the agreement certificate for one batch.

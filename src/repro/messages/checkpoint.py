@@ -112,16 +112,20 @@ class StateTransfer(Message):
     reply_table: bytes
     proof: ExecCheckpointProof
     replica: NodeId
+    #: subsystem state beyond the application (e.g. the sharded nodes'
+    #: partition-map epoch); covered by the checkpoint digest
+    extra: bytes = b""
 
     def payload_fields(self) -> Dict[str, Any]:
         return {
             "n": self.seq,
             "app_digest_len": len(self.app_state),
             "reply_table_len": len(self.reply_table),
+            "extra_len": len(self.extra),
             "proof": self.proof.to_wire(),
             "i": self.replica.name,
         }
 
     @property
     def padding_bytes(self) -> int:  # type: ignore[override]
-        return len(self.app_state) + len(self.reply_table)
+        return len(self.app_state) + len(self.reply_table) + len(self.extra)

@@ -72,16 +72,21 @@ class BatchReplyBody(Message):
 
     ``shard`` identifies the execution cluster that produced the reply in
     sharded deployments (``repro.sharding``), in which case ``seq`` is that
-    shard's local sequence number.  It is covered by the certificate, so a
-    Byzantine node cannot relabel a reply as coming from another shard
-    without invalidating every correct authenticator.  Unsharded deployments
-    leave it ``None`` and their wire format is unchanged.
+    shard's local sequence number and ``epoch`` is the partition-map epoch
+    the cluster executed the batch under.  Both are covered by the
+    certificate, so a Byzantine node cannot relabel a reply as coming from
+    another shard -- or forge an epoch to confuse a client's routing
+    expectations -- without invalidating every correct authenticator: a
+    certified newer epoch is how a client with a stale map learns, safely,
+    that a rebalance moved its key.  Unsharded deployments leave both
+    ``None`` and their wire format is unchanged.
     """
 
     view: int
     seq: int
     replies: Tuple[ReplyBody, ...]
     shard: Optional[int] = None
+    epoch: Optional[int] = None
 
     def payload_fields(self) -> Dict[str, Any]:
         fields: Dict[str, Any] = {
@@ -91,6 +96,8 @@ class BatchReplyBody(Message):
         }
         if self.shard is not None:
             fields["shard"] = self.shard
+        if self.epoch is not None:
+            fields["epoch"] = self.epoch
         return fields
 
     @property

@@ -26,15 +26,26 @@ while ordering capacity stays fixed.
 
 from .client import ShardAwareClient
 from .execution import ShardExecutionNode
-from .messages import ShardedBatch, ShardLocalBatch
+from .messages import (
+    MapChange,
+    RangeFetch,
+    RangeHandoff,
+    ShardedBatch,
+    ShardLocalBatch,
+    map_change_of,
+)
 from .partitioner import (
     DEFAULT_SHARD,
     HashPartitioner,
     KeyRangePartitioner,
+    MovedRange,
     Partitioner,
+    PartitionMap,
+    PartitionMapRegistry,
     make_partitioner,
 )
 from .queue import ShardRouterQueue
+from .rebalance import RebalanceController, ShardLoadWindow, apply_map_change
 from .router import ShardRouter
 from .system import ShardedSystem, sharded_topology
 
@@ -42,14 +53,24 @@ __all__ = [
     "DEFAULT_SHARD",
     "HashPartitioner",
     "KeyRangePartitioner",
+    "MapChange",
+    "MovedRange",
+    "PartitionMap",
+    "PartitionMapRegistry",
     "Partitioner",
-    "make_partitioner",
+    "RangeFetch",
+    "RangeHandoff",
+    "RebalanceController",
     "ShardAwareClient",
     "ShardedBatch",
     "ShardedSystem",
     "ShardExecutionNode",
+    "ShardLoadWindow",
     "ShardLocalBatch",
     "ShardRouter",
     "ShardRouterQueue",
+    "apply_map_change",
+    "make_partitioner",
+    "map_change_of",
     "sharded_topology",
 ]

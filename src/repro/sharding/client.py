@@ -9,6 +9,19 @@ does not match the expected owner) is rejected and counted in
 :attr:`ShardAwareClient.misrouted_replies`: without this check, ``g + 1``
 Byzantine nodes spread across *different* shards could forge a reply even
 though no single shard exceeds its fault bound.
+
+**Rebalancing.**  The client keeps its own partition-map epoch cursor;
+requests are routed (for reply-quorum purposes -- submission always goes to
+the agreement cluster) by the newest map the client knows.  When a rebalance
+moves the key mid-flight, the reply arrives from the *new* owner carrying a
+newer ``epoch`` inside the authenticated reply body.  The client advances
+only when that claim is consistent: the epoch must exist in the agreed map
+history and map the pending operation's key to exactly the shard the reply
+names -- and even then the reply completes only with ``g + 1`` matching
+authenticators from *that* shard's replicas, so a forged epoch buys an
+attacker nothing the fault bounds didn't already concede.  A reply naming a
+shard no known epoch supports is counted as misrouted, exactly like a wrong
+shard was before rebalancing existed.
 """
 
 from __future__ import annotations
@@ -45,26 +58,68 @@ class ShardAwareClient(ClientNode):
         self.router = router
         self.shard_execution_ids = [list(ids) for ids in shard_execution_ids]
         self.shard_threshold_groups = shard_threshold_groups
+        #: this client's partition-map epoch cursor (advanced only by
+        #: consistent, authenticated newer-epoch replies)
+        self.epoch = 0
         self._expected_shard: Optional[int] = None
+        self._pending_operation: Optional[Operation] = None
         self.misrouted_replies = 0
+        self.epoch_advances = 0
 
     def _issue(self, operation: Operation, timestamp: int,
                callback: Optional[Callable[[CompletedRequest], None]],
                issued_at: Optional[float] = None) -> None:
-        shard = self.router.shard_of_operation(operation)
+        self._pending_operation = operation
+        self._expect_shard(self.router.shard_of_operation(operation,
+                                                          epoch=self.epoch))
+        super()._issue(operation, timestamp, callback, issued_at=issued_at)
+
+    def _expect_shard(self, shard: int) -> None:
+        """Scope the inherited quorum counting to the owning shard: only its
+        replicas may contribute the g + 1 matching authenticators."""
         self._expected_shard = shard
-        # Scope the inherited quorum counting to the owning shard: only its
-        # replicas may contribute the g + 1 matching authenticators.
         self.reply_universe = self.shard_execution_ids[shard]
         if self.shard_threshold_groups is not None:
             self.threshold_group = self.shard_threshold_groups[shard]
-        super()._issue(operation, timestamp, callback, issued_at=issued_at)
 
     def on_message(self, sender: NodeId, message: Message) -> None:
-        if isinstance(message, ClientReply) and self._is_misrouted(message):
-            self.misrouted_replies += 1
-            return
+        if isinstance(message, ClientReply):
+            self._maybe_advance_epoch(message)
+            if self._is_misrouted(message):
+                self.misrouted_replies += 1
+                return
         super().on_message(sender, message)
+
+    def _maybe_advance_epoch(self, message: ClientReply) -> None:
+        """Adopt a newer epoch claimed by a reply for our pending request.
+
+        The claim must be *consistent* before it steers quorum counting: the
+        epoch has to exist in the agreed map history and map the pending
+        operation's key to the very shard the reply names.  Adoption alone
+        completes nothing -- the reply still needs ``g + 1`` matching
+        authenticators from the named shard's replicas, which correct nodes
+        only produce for bodies (epoch included) they actually executed.
+        """
+        pending = self._pending
+        body = message.body
+        if (pending is None or body.epoch is None or body.epoch <= self.epoch
+                or body.shard is None):
+            return
+        if (message.reply.client != self.node_id
+                or message.reply.timestamp != pending.timestamp):
+            return
+        registry = getattr(self.router.partitioner, "registry", None)
+        if registry is None or not registry.has_epoch(body.epoch):
+            return
+        if self._pending_operation is None:
+            return
+        expected = self.router.shard_of_operation(self._pending_operation,
+                                                  epoch=body.epoch)
+        if body.shard != expected:
+            return
+        self.epoch = body.epoch
+        self.epoch_advances += 1
+        self._expect_shard(expected)
 
     def _is_misrouted(self, message: ClientReply) -> bool:
         """A reply for our outstanding request claiming the wrong shard."""

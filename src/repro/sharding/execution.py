@@ -6,34 +6,64 @@ replicas of *its own shard* and whose sequence space is the shard-local one
 assigned by the shard routers.  The node converts each incoming
 :class:`~repro.sharding.messages.ShardedBatch` into a
 :class:`~repro.sharding.messages.ShardLocalBatch` by re-deriving, with its own
-router, the subset of requests it owns -- so the inherited pipeline (in-order
-execution, gap fetch, per-shard checkpoints, reply cache, state transfer)
-runs unchanged on shard-local sequence numbers, and a misrouted or tampered
-envelope is rejected rather than executed.
+router *at the envelope's partition-map epoch*, the subset of requests it
+owns -- so the inherited pipeline (in-order execution, gap fetch, per-shard
+checkpoints, reply cache, state transfer) runs unchanged on shard-local
+sequence numbers, and a misrouted or tampered envelope is rejected rather
+than executed.
 
 Misroute rejection (counted in :attr:`ShardExecutionNode.misroutes`) fires
 when:
 
 * the envelope is addressed to a different shard,
-* none of the batch's requests are owned by this shard, or
+* none of the batch's requests are owned by this shard at the claimed epoch
+  (or the epoch itself is unknown -- a forged future epoch), or
 * the owned subset claimed by a peer-transferred batch does not match the
   subset this node derives itself.
 
 **Route authentication.**  The agreement certificate covers the *global*
-sequence number; the shard-local ``shard_seq`` is derived, not signed, so a
-single Byzantine agreement node could relabel a genuinely committed batch
-with a wrong slot and scramble the shard's execution order.  To prevent
-this, a replica accepts a ``(shard_seq, batch)`` binding only once ``f + 1``
-distinct agreement nodes have sent the identical envelope -- every correct
-agreement node computes the same deterministic assignment, so ``f + 1``
-matching votes always include a correct one.  Bindings served by shard peers
-(the gap-fetch protocol) need ``g + 1`` distinct peer votes instead; a
-recovering replica that cannot gather them simply waits for the next stable
-checkpoint, whose ``g + 1``-signed proof certifies everything below it.
+sequence number; the shard-local ``shard_seq`` and the routing ``epoch`` are
+derived, not signed, so a single Byzantine agreement node could relabel a
+genuinely committed batch with a wrong slot or a stale epoch and scramble
+the shard's execution order or key ownership.  To prevent this, a replica
+accepts a ``(shard_seq, epoch, batch)`` binding only once ``f + 1`` distinct
+agreement nodes have sent the identical envelope -- every correct agreement
+node computes the same deterministic assignment, so ``f + 1`` matching votes
+always include a correct one.  Bindings served by shard peers (the gap-fetch
+protocol) need ``g + 1`` distinct peer votes instead; a recovering replica
+that cannot gather them simply waits for the next stable checkpoint, whose
+``g + 1``-signed proof certifies everything below it.
+
+**Epoch cuts and range handoff.**  A rebalancing map change reaches every
+cluster as a *marker* batch occupying one shard-local sequence number, so
+the cut lands at a deterministic point of each replica's own in-order
+execution.  Executing the marker (deterministically a no-op if the change
+lost a race) bumps the replica's epoch and, per moved key range:
+
+* the *losing* replica extracts the range's state exactly as of the cut
+  (execution is in-order, so its state is the agreed pre-cut prefix) and
+  sends a :class:`~repro.sharding.messages.RangeHandoff` share -- range
+  entries plus its client-dedup reply table -- to every replica of the
+  gaining cluster;
+* the *gaining* replica blocks execution past the marker until ``g + 1``
+  matching source shares certify the moved state, installs it, merges the
+  reply table timestamp-monotonically (so a request executed pre-cut is
+  answered from the table, never re-executed -- exactly-once survives the
+  cut), and resumes.  A blocked replica re-requests the handoff on a timer
+  (:class:`~repro.sharding.messages.RangeFetch`), and a replica that missed
+  the cut entirely catches up through the ordinary state-transfer path:
+  checkpoints carry the epoch (and post-cut state) under their ``g + 1``
+  proof.
+
+Checkpoints falling exactly on a cut are deferred until the inbound ranges
+are installed, so a cluster's checkpoint digest at any sequence number is a
+deterministic function of the agreed history -- never of message timing.
 """
 
 from __future__ import annotations
 
+import json
+import pickle
 from typing import Dict, List, Optional, Tuple
 
 from ..config import SystemConfig
@@ -47,8 +77,27 @@ from ..net.message import Message
 from ..sim.scheduler import Scheduler
 from ..statemachine.interface import StateMachine
 from ..util.ids import NodeId
-from .messages import ShardedBatch, ShardLocalBatch
+from .messages import (
+    MapChange,
+    RangeFetch,
+    RangeHandoff,
+    ShardedBatch,
+    ShardLocalBatch,
+    handoff_payload,
+    map_change_of,
+)
+from .rebalance import apply_map_change
 from .router import ShardRouter
+
+#: (epoch, lo, hi) identifying one moved key range
+RangeKey = Tuple[int, Optional[str], Optional[str]]
+
+#: how many epochs of outbound handoffs a source replica keeps for re-serving
+_HANDOFF_RETENTION_EPOCHS = 4
+
+#: cap on buffered *pre-arrival* handoff shares (ranges this replica is not
+#: yet awaiting); awaited ranges are always buffered regardless
+_HANDOFF_BUFFER_CAP = 64
 
 
 class ShardExecutionNode(ExecutionNode):
@@ -59,7 +108,8 @@ class ShardExecutionNode(ExecutionNode):
                  agreement_ids: List[NodeId], execution_ids: List[NodeId],
                  client_ids: List[NodeId], upstream: List[NodeId],
                  shard: int, router: ShardRouter,
-                 threshold_group: Optional[str] = None) -> None:
+                 threshold_group: Optional[str] = None,
+                 shard_execution_ids: Optional[List[List[NodeId]]] = None) -> None:
         super().__init__(node_id=node_id, scheduler=scheduler, config=config,
                          keystore=keystore, state_machine=state_machine,
                          agreement_ids=agreement_ids, execution_ids=execution_ids,
@@ -67,11 +117,34 @@ class ShardExecutionNode(ExecutionNode):
                          threshold_group=threshold_group, encrypt_replies=False)
         self.shard = shard
         self.router = router
+        #: replica ids of *every* execution cluster (needed to address and
+        #: authenticate cross-cluster range handoffs; empty disables them)
+        self.shard_execution_ids = [list(ids)
+                                    for ids in (shard_execution_ids or [])]
         self.misroutes = 0
-        #: route-binding votes: shard_seq -> voter -> envelope digest
-        self._route_votes: Dict[int, Dict[NodeId, bytes]] = {}
-        #: shard_seq -> digest of the accepted (f+1 / g+1 vouched) binding
-        self._route_accepted: Dict[int, bytes] = {}
+        #: this replica's partition-map epoch (bumps exactly at cut markers)
+        self.epoch = 0
+        #: route-binding votes: shard_seq -> voter -> (envelope digest, epoch)
+        self._route_votes: Dict[int, Dict[NodeId, Tuple[bytes, int]]] = {}
+        #: shard_seq -> the accepted (f+1 / g+1 vouched) (digest, epoch)
+        self._route_accepted: Dict[int, Tuple[bytes, int]] = {}
+        #: inbound moved ranges not yet installed: range -> source cluster
+        self._awaiting_ranges: Dict[RangeKey, int] = {}
+        #: handoff shares received: range -> sender -> state digest
+        self._handoff_votes: Dict[RangeKey, Dict[NodeId, bytes]] = {}
+        #: handoff bytes by (range, digest): (entries, reply table)
+        self._handoff_data: Dict[Tuple[RangeKey, bytes], Tuple[bytes, bytes]] = {}
+        #: outbound handoffs kept for re-serving RangeFetch requests
+        self._outbound_handoffs: Dict[RangeKey, RangeHandoff] = {}
+        #: checkpoint deferred because it fell on a cut awaiting its ranges
+        self._deferred_checkpoint: Optional[int] = None
+
+        # Statistics used by benchmarks and tests.
+        self.stale_epoch_batches = 0
+        self.epoch_cuts_applied = 0
+        self.ranges_sent = 0
+        self.ranges_installed = 0
+        self.range_fetches = 0
 
     # ------------------------------------------------------------------ #
     # Message dispatch.
@@ -91,6 +164,10 @@ class ShardExecutionNode(ExecutionNode):
             if sender in self.execution_ids and isinstance(message.batch,
                                                            ShardLocalBatch):
                 self.handle_sharded_batch(sender, message.batch.to_sharded_batch())
+        elif isinstance(message, RangeHandoff):
+            self.handle_range_handoff(sender, message)
+        elif isinstance(message, RangeFetch):
+            self.handle_range_fetch(sender, message)
         else:
             super().on_message(sender, message)
 
@@ -111,15 +188,19 @@ class ShardExecutionNode(ExecutionNode):
             self.misroutes += 1
             return
         seq = message.shard_seq
-        # Vote on the agreement-certificate *body* (view, global seq, batch
-        # digest, nondet): it is identical across correct senders -- each
-        # sender's assembled certificate carries a different authenticator
-        # set -- and it binds the batch content, which _validate_batch checks
-        # against it at acceptance time.
+        # Vote on (agreement-certificate *body* digest, epoch): the body
+        # (view, global seq, batch digest, nondet) is identical across
+        # correct senders -- each sender's assembled certificate carries a
+        # different authenticator set -- and it binds the batch content,
+        # which _validate_batch checks against it at acceptance time.  The
+        # epoch rides in the vote so a single Byzantine agreement node can
+        # no more relabel a batch's routing epoch than its slot: a
+        # stale/forged epoch never gathers f + 1 matching votes.
         digest = self.crypto.payload_digest(message.batch.agreement_certificate.payload)
+        binding = (digest, message.epoch)
         votes = self._route_votes.setdefault(seq, {})
-        repeat = votes.get(sender) == digest
-        votes[sender] = digest
+        repeat = votes.get(sender) == binding
+        votes[sender] = binding
 
         if seq <= self.max_executed:
             # Already executed (possibly via state transfer).  Resend the
@@ -132,14 +213,16 @@ class ShardExecutionNode(ExecutionNode):
             return
         accepted = self._route_accepted.get(seq)
         if accepted is not None:
-            if accepted != digest:
+            if accepted != binding:
                 self.misroutes += 1
+                if accepted[0] == binding[0]:
+                    self.stale_epoch_batches += 1
             return
-        if not self._binding_vouched(votes, digest):
+        if not self._binding_vouched(votes, binding):
             return
         self.handle_ordered_batch(local)
         if local.seq in self.pending or self.max_executed >= local.seq:
-            self._route_accepted[seq] = digest
+            self._route_accepted[seq] = binding
 
     def _within_acceptance_window(self, shard_seq: int) -> bool:
         """Whether a routed slot is near enough to buffer.
@@ -155,20 +238,30 @@ class ShardExecutionNode(ExecutionNode):
         window = max(2 * self.config.checkpoint_interval, 2 * depth)
         return shard_seq <= self.max_executed + window
 
-    def _binding_vouched(self, votes: Dict[NodeId, bytes], digest: bytes) -> bool:
+    def _binding_vouched(self, votes: Dict[NodeId, Tuple[bytes, int]],
+                         binding: Tuple[bytes, int]) -> bool:
         """``f + 1`` agreement senders or ``g + 1`` shard peers vouch for it."""
         agreement_votes = sum(1 for voter, seen in votes.items()
-                              if seen == digest and voter in self.agreement_ids)
+                              if seen == binding and voter in self.agreement_ids)
         if agreement_votes >= self.config.f + 1:
             return True
         peer_votes = sum(1 for voter, seen in votes.items()
-                         if seen == digest and voter in self.execution_ids)
+                         if seen == binding and voter in self.execution_ids)
         return peer_votes >= self.config.g + 1
 
     def _localize(self, message: ShardedBatch) -> Optional[ShardLocalBatch]:
         """Build this shard's view of the envelope (None if nothing is owned)."""
         batch = message.batch
-        owned = self._owned_requests(batch.request_certificates)
+        if map_change_of(batch.request_certificates) is not None:
+            # Epoch-cut marker: addressed to every cluster, owns no client
+            # requests; the cut semantics execute at its shard-local slot.
+            return ShardLocalBatch(
+                shard=self.shard, seq=message.shard_seq, global_seq=batch.seq,
+                view=batch.view, request_certificates=(),
+                full_request_certificates=batch.request_certificates,
+                agreement_certificate=batch.agreement_certificate,
+                nondet=batch.nondet, epoch=message.epoch)
+        owned = self._owned_requests(batch.request_certificates, message.epoch)
         if not owned:
             return None
         return ShardLocalBatch(
@@ -176,15 +269,20 @@ class ShardExecutionNode(ExecutionNode):
             view=batch.view, request_certificates=owned,
             full_request_certificates=batch.request_certificates,
             agreement_certificate=batch.agreement_certificate, nondet=batch.nondet,
-        )
+            epoch=message.epoch)
 
-    def _owned_requests(self, certificates: Tuple) -> Tuple:
-        """The subset of a batch's request certificates this shard owns."""
-        return tuple(
-            cert for cert in certificates
-            if isinstance(cert.payload, ClientRequest)
-            and self.router.shard_of_request(cert.payload) == self.shard
-        )
+    def _owned_requests(self, certificates: Tuple, epoch: int) -> Tuple:
+        """The subset of a batch's request certificates this shard owns at
+        ``epoch`` (empty when the epoch is unknown -- a forged future epoch
+        cannot be judged, so nothing is owned under it)."""
+        try:
+            return tuple(
+                cert for cert in certificates
+                if isinstance(cert.payload, ClientRequest)
+                and self.router.shard_of_request(cert.payload, epoch) == self.shard
+            )
+        except KeyError:
+            return ()
 
     # ------------------------------------------------------------------ #
     # Validation (shard-local batches only).
@@ -212,6 +310,11 @@ class ShardExecutionNode(ExecutionNode):
         })
         if expected != body.batch_digest:
             return False
+        if map_change_of(batch.full_request_certificates) is not None:
+            # Cut marker: the agreement certificate just verified is the
+            # whole authority (2f + 1 commits bind the change through the
+            # batch digest); it owns no client requests by construction.
+            return batch.request_certificates == ()
         # Fast path (perf.shard_verify_owned_only): client authenticators are
         # verified only for the requests this shard owns.  The agreement
         # certificate just checked above carries 2f + 1 commits, so at least
@@ -226,28 +329,296 @@ class ShardExecutionNode(ExecutionNode):
                 return False
             if request.client not in self.client_ids:
                 return False
-            owned_here = self.router.shard_of_request(request) == self.shard
+            owned_here = self._owns_at(request, batch.epoch)
             if (verify_all or owned_here) and not self.crypto.verify_certificate(
                     certificate, 1, [request.client]):
                 return False
         # Misroute rejection: the owned subset must be exactly what this
-        # node's own router derives (peer-transferred batches carry the
-        # sender's filtering, which a Byzantine peer could doctor).
-        owned = self._owned_requests(batch.full_request_certificates)
+        # node's own router derives at the vouched epoch (peer-transferred
+        # batches carry the sender's filtering, which a Byzantine peer could
+        # doctor).
+        owned = self._owned_requests(batch.full_request_certificates, batch.epoch)
         if not owned or owned != batch.request_certificates:
             self.misroutes += 1
             return False
         return True
 
+    def _owns_at(self, request: ClientRequest, epoch: int) -> bool:
+        try:
+            return self.router.shard_of_request(request, epoch) == self.shard
+        except KeyError:
+            return False
+
     # ------------------------------------------------------------------ #
-    # Replies carry the shard id; vote tables are garbage collected with
-    # the recent-batch window.
+    # Execution: epoch cuts gate the in-order pipeline.
+    # ------------------------------------------------------------------ #
+
+    def _ready_to_execute(self, batch) -> bool:
+        """Execution past an epoch cut waits for the cut's inbound ranges:
+        the next batch may read keys whose state is still in flight from
+        the losing cluster."""
+        return not self._awaiting_ranges
+
+    def _execute_batch(self, batch) -> None:
+        if isinstance(batch, ShardLocalBatch):
+            change = map_change_of(batch.full_request_certificates)
+            if change is not None:
+                self._execute_map_change(batch, change)
+                return
+            if batch.epoch != self.epoch:
+                # Defence in depth: an accepted binding always matches the
+                # in-stream epoch (markers and batches share one ordered
+                # feed), so a mismatch here means the binding was forged
+                # past the vote somehow -- drop it and re-fetch the truth
+                # rather than execute under the wrong map.
+                self.misroutes += 1
+                self.stale_epoch_batches += 1
+                self._route_accepted.pop(batch.seq, None)
+                self._route_votes.pop(batch.seq, None)
+                self._request_missing(batch.seq)
+                return
+        super()._execute_batch(batch)
+
+    def _execute_map_change(self, local: ShardLocalBatch, change: MapChange) -> None:
+        """Execute an epoch-cut marker at its shard-local slot.
+
+        Mirrors the router queues' cut-time judgement exactly: apply the
+        change if its parent epoch is current, else no-op.  Either way the
+        marker consumes its sequence number and is answered (with an empty
+        reply bundle), so the agreement cluster's pipeline accounting never
+        distinguishes the two outcomes.
+        """
+        registry = getattr(self.router.partitioner, "registry", None)
+        new_map = None
+        if registry is not None and registry.has_epoch(self.epoch):
+            old_map = registry.map_for(self.epoch)
+            new_map = apply_map_change(old_map, change)
+        if new_map is not None:
+            registry.append(new_map)
+            for moved in old_map.moved_ranges(new_map):
+                if moved.old_owner == self.shard:
+                    self._send_range(new_map.epoch, moved.lo, moved.hi,
+                                     moved.new_owner)
+                elif moved.new_owner == self.shard:
+                    self._awaiting_ranges[(new_map.epoch, moved.lo, moved.hi)] = \
+                        moved.old_owner
+            self.epoch = new_map.epoch
+            self.epoch_cuts_applied += 1
+            self._prune_handoff_buffers()
+        # The marker's bookkeeping matches any other batch: it advances the
+        # shard-local sequence, is answered, and may fall on a checkpoint.
+        self.max_executed = local.seq
+        self.batches_executed += 1
+        body = self._make_reply_body(local.view, local.seq, ())
+        self.replies_by_seq[local.seq] = self._send_reply(body)
+        self._trim_reply_cache()
+        self._try_install_ranges()
+        if local.seq % self.config.checkpoint_interval == 0:
+            if self._awaiting_ranges:
+                # The checkpoint at a cut covers post-install state (the
+                # deterministic "state after the cut"); take it once the
+                # inbound ranges land.
+                self._deferred_checkpoint = local.seq
+            else:
+                self._take_checkpoint(local.seq)
+        if self._awaiting_ranges:
+            self._arm_range_fetch()
+
+    # ------------------------------------------------------------------ #
+    # Range handoff: losing side.
+    # ------------------------------------------------------------------ #
+
+    def _send_range(self, epoch: int, lo: Optional[str], hi: Optional[str],
+                    target_shard: int) -> None:
+        """Extract a moved range as of the cut and share it with the gainers.
+
+        The extraction *removes* the range locally -- ownership moved, and a
+        stale local copy could shadow the handed-off truth if the range ever
+        returns -- and the share's authenticator covers the canonical
+        handoff payload, so ``g + 1`` matching shares certify the state.
+        """
+        if not self.shard_execution_ids:
+            return
+        entries = self.app.extract_range(lo, hi)
+        reply_table = self._serialized_reply_table()
+        digest = self.crypto.digest(entries + reply_table,
+                                    size_hint=len(entries) + len(reply_table))
+        targets = self.shard_execution_ids[target_shard]
+        authenticator = self.crypto.mac_authenticator(
+            handoff_payload(epoch, lo, hi, self.shard, target_shard, digest),
+            targets)
+        message = RangeHandoff(epoch=epoch, source_shard=self.shard,
+                               target_shard=target_shard, lo=lo, hi=hi,
+                               entries=entries, reply_table=reply_table,
+                               state_digest=digest, replica=self.node_id,
+                               authenticator=authenticator)
+        self._outbound_handoffs[(epoch, lo, hi)] = message
+        self._outbound_handoffs = {
+            key: kept for key, kept in self._outbound_handoffs.items()
+            if key[0] > epoch - _HANDOFF_RETENTION_EPOCHS
+        }
+        self.multicast(targets, message)
+        self.ranges_sent += 1
+
+    def handle_range_fetch(self, sender: NodeId, message: RangeFetch) -> None:
+        """Re-serve a stored handoff to a gaining replica that missed it."""
+        if sender != message.replica:
+            return
+        if not any(sender in ids for ids in self.shard_execution_ids):
+            return
+        stored = self._outbound_handoffs.get((message.epoch, message.lo, message.hi))
+        if stored is not None and stored.target_shard == message.target_shard:
+            self.send(sender, stored)
+
+    # ------------------------------------------------------------------ #
+    # Range handoff: gaining side.
+    # ------------------------------------------------------------------ #
+
+    def handle_range_handoff(self, sender: NodeId, message: RangeHandoff) -> None:
+        if message.target_shard != self.shard or not self.shard_execution_ids:
+            self.misroutes += 1
+            return
+        if not 0 <= message.source_shard < len(self.shard_execution_ids):
+            return
+        if (sender != message.replica
+                or sender not in self.shard_execution_ids[message.source_shard]):
+            return
+        if message.authenticator is None or not self.crypto.verify_mac(
+                handoff_payload(message.epoch, message.lo, message.hi,
+                                message.source_shard, message.target_shard,
+                                message.state_digest),
+                message.authenticator):
+            return
+        # Bound the buffer: shares are useful only near this replica's own
+        # epoch (a little behind: a late duplicate; a little ahead: a
+        # pre-arrival for a cut we have not executed yet).  Anything else --
+        # including a flood of fabricated far-future ranges from a single
+        # Byzantine source replica -- is dropped, mirroring the route-vote
+        # acceptance window.
+        if not (self.epoch - _HANDOFF_RETENTION_EPOCHS <= message.epoch
+                <= self.epoch + _HANDOFF_RETENTION_EPOCHS):
+            return
+        digest = self.crypto.digest(
+            message.entries + message.reply_table,
+            size_hint=len(message.entries) + len(message.reply_table))
+        if digest != message.state_digest:
+            return
+        key: RangeKey = (message.epoch, message.lo, message.hi)
+        if key not in self._awaiting_ranges:
+            if message.epoch <= self.epoch:
+                # A share for a cut already behind us that we are not
+                # blocked on: a late duplicate of an installed handoff (the
+                # remaining source replicas' redundant sends) or a range
+                # that was never ours to gain.  Nothing left to install.
+                return
+            if len(self._handoff_data) >= _HANDOFF_BUFFER_CAP:
+                return  # pre-arrival buffer is full; RangeFetch recovers
+        self._handoff_votes.setdefault(key, {})[sender] = message.state_digest
+        self._handoff_data[(key, message.state_digest)] = (message.entries,
+                                                           message.reply_table)
+        self._try_install_ranges()
+
+    def _try_install_ranges(self) -> None:
+        """Install every awaited range with ``g + 1`` matching shares."""
+        installed = False
+        for key in list(self._awaiting_ranges):
+            votes = self._handoff_votes.get(key, {})
+            for digest in set(votes.values()):
+                support = sum(1 for seen in votes.values() if seen == digest)
+                if (support >= self.config.checkpoint_quorum
+                        and (key, digest) in self._handoff_data):
+                    self._install_range(key, digest)
+                    installed = True
+                    break
+        if installed and not self._awaiting_ranges:
+            if self._deferred_checkpoint is not None:
+                seq = self._deferred_checkpoint
+                self._deferred_checkpoint = None
+                self._take_checkpoint(seq)
+            self._process_pending()
+
+    def _install_range(self, key: RangeKey, digest: bytes) -> None:
+        entries, reply_table = self._handoff_data[(key, digest)]
+        _, lo, hi = key
+        self.app.install_range(lo, hi, entries)
+        # Merge the source cluster's dedup table timestamp-monotonically: a
+        # request executed there pre-cut must be answered from the table
+        # here, never re-executed.  This replica's own table is frozen while
+        # blocked at the cut, so the merge is deterministic across peers.
+        for _, reply in pickle.loads(reply_table):
+            current = self.reply_table.get(reply.client)
+            if current is None or current.timestamp < reply.timestamp:
+                self.reply_table[reply.client] = reply
+        del self._awaiting_ranges[key]
+        self._handoff_votes.pop(key, None)
+        self._handoff_data = {
+            stored: data for stored, data in self._handoff_data.items()
+            if stored[0] != key
+        }
+        self.ranges_installed += 1
+
+    def _prune_handoff_buffers(self) -> None:
+        """Drop buffered shares that can never install: past epochs whose
+        ranges this replica is not awaiting (late duplicates of installed
+        handoffs, or ranges that were never ours to gain)."""
+        def live(key: RangeKey) -> bool:
+            return key in self._awaiting_ranges or key[0] > self.epoch
+
+        self._handoff_votes = {
+            key: votes for key, votes in self._handoff_votes.items() if live(key)
+        }
+        self._handoff_data = {
+            stored: data for stored, data in self._handoff_data.items()
+            if live(stored[0])
+        }
+
+    def _arm_range_fetch(self) -> None:
+        self.set_timer(self.config.timers.execution_fetch_ms,
+                       self._on_range_fetch_timeout,
+                       label=f"{self.node_id}:range-fetch")
+
+    def _on_range_fetch_timeout(self) -> None:
+        if not self._awaiting_ranges:
+            return
+        for (epoch, lo, hi), source in self._awaiting_ranges.items():
+            if not 0 <= source < len(self.shard_execution_ids):
+                continue
+            self.range_fetches += 1
+            self.multicast(self.shard_execution_ids[source],
+                           RangeFetch(epoch=epoch, target_shard=self.shard,
+                                      lo=lo, hi=hi, replica=self.node_id))
+        self._arm_range_fetch()
+
+    # ------------------------------------------------------------------ #
+    # Checkpoints carry the epoch (state transfer must land in the right
+    # map, not just the right application state).
+    # ------------------------------------------------------------------ #
+
+    def _checkpoint_extra(self) -> bytes:
+        return json.dumps({"epoch": self.epoch}, sort_keys=True).encode()
+
+    def _restore_extra(self, extra: bytes) -> None:
+        if not extra:
+            return
+        self.epoch = int(json.loads(extra.decode())["epoch"])
+        # A checkpoint is never taken while ranges are in flight (cuts defer
+        # it), so the restored state carries every range of its epoch: any
+        # handoff this replica was blocked on is already folded in, and the
+        # buffered shares for it are dead weight (a future cut's shares are
+        # re-fetchable via RangeFetch if they get dropped here).
+        self._awaiting_ranges.clear()
+        self._deferred_checkpoint = None
+        self._prune_handoff_buffers()
+
+    # ------------------------------------------------------------------ #
+    # Replies carry the shard id and epoch; vote tables are garbage
+    # collected with the recent-batch window.
     # ------------------------------------------------------------------ #
 
     def _make_reply_body(self, view: int, seq: int,
                          replies: Tuple[ReplyBody, ...]) -> BatchReplyBody:
         return BatchReplyBody(view=view, seq=seq, replies=tuple(replies),
-                              shard=self.shard)
+                              shard=self.shard, epoch=self.epoch)
 
     def _trim_recent(self) -> None:
         super()._trim_recent()
@@ -258,6 +629,6 @@ class ShardExecutionNode(ExecutionNode):
             seq: votes for seq, votes in self._route_votes.items() if seq > horizon
         }
         self._route_accepted = {
-            seq: digest for seq, digest in self._route_accepted.items()
+            seq: binding for seq, binding in self._route_accepted.items()
             if seq > horizon
         }

@@ -3,10 +3,13 @@
 :class:`ShardedBatch` is what flows from the shard-routing message queues to
 one execution cluster: the *complete* globally-ordered batch (so the shard
 can verify the untampered agreement certificate) plus the routing header
-``(shard, shard_seq)``.  ``shard_seq`` is the shard's own contiguous sequence
-number, assigned deterministically by every correct agreement node as it
-delivers batches in global order -- the shard's execution replicas order,
-checkpoint, and state-transfer entirely in this local sequence space.
+``(shard, shard_seq, epoch)``.  ``shard_seq`` is the shard's own contiguous
+sequence number, assigned deterministically by every correct agreement node
+as it delivers batches in global order -- the shard's execution replicas
+order, checkpoint, and state-transfer entirely in this local sequence space.
+``epoch`` is the partition-map epoch the batch was routed under; it is part
+of the ``f + 1``-vouched route binding, so a single Byzantine agreement node
+can no more relabel a batch's epoch than its slot.
 
 :class:`ShardLocalBatch` is the execution-side view of a routed batch: the
 same interface as :class:`~repro.messages.agreement.OrderedBatch` but with
@@ -16,17 +19,85 @@ trusted from the wire).  Because it quacks like an ``OrderedBatch``, the
 entire unsharded execution pipeline -- pending ordering, gap fetch,
 checkpointing, garbage collection, state transfer -- runs unmodified on
 shard-local sequence numbers.
+
+:class:`MapChange` is the rebalancing config operation: the primary places
+it in an ordinary agreed batch, and its position in the global order *is*
+the epoch cut.  :class:`RangeHandoff` / :class:`RangeFetch` implement the
+live state handoff of a moved key range between execution clusters,
+mirroring the checkpoint-share pattern: ``g + 1`` matching handoff shares
+from the source cluster certify the moved state.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
-from ..crypto.certificate import Certificate
-from ..messages.agreement import AgreementCertBody, OrderedBatch
+from ..crypto.certificate import Authenticator, Certificate
+from ..messages.agreement import AgreementCertBody, ConfigOperation, OrderedBatch
 from ..net.message import Message
 from ..statemachine.nondet import NonDetInput
+from ..util.ids import NodeId
+
+#: MapChange.kind values
+MAP_CHANGE_KINDS = ("split", "merge", "move")
+
+
+@dataclass(frozen=True)
+class MapChange(ConfigOperation):
+    """A partition-map config operation ordered through the agreement log.
+
+    ``parent_epoch`` names the map the change applies to; applying it
+    produces the map of ``parent_epoch + 1``.  Validity is judged *at the
+    cut* (when the batch carrying the change is released in global order)
+    against the releasing node's current epoch: a change racing a concurrent
+    cut (``parent_epoch`` no longer current) is a deterministic no-op on
+    every correct node, so a stale proposal can never fork the map history.
+
+    * ``split``: insert boundary ``key``; the upper half of the range
+      containing it moves to cluster ``owner``.
+    * ``merge``: remove boundary ``key``; the right range merges into the
+      left range's owner.
+    * ``move``: shift boundary ``key`` to ``to_key``.
+    """
+
+    kind: str
+    parent_epoch: int
+    key: str
+    to_key: Optional[str] = None
+    owner: Optional[int] = None
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "map-change": self.kind,
+            "parent_epoch": self.parent_epoch,
+            "key": self.key,
+            "to_key": self.to_key,
+            "owner": self.owner,
+        }
+
+    def well_formed(self, num_clusters: int) -> bool:
+        """Structural sanity (semantic validity is judged at the cut)."""
+        if self.kind not in MAP_CHANGE_KINDS or self.parent_epoch < 0:
+            return False
+        if self.kind == "split":
+            return (self.owner is not None
+                    and 0 <= self.owner < num_clusters)
+        if self.kind == "move":
+            return self.to_key is not None and self.to_key != self.key
+        return True
+
+
+def map_change_of(certificates: Tuple[Certificate, ...]) -> Optional[MapChange]:
+    """The map change carried by a batch, if it is a map-change batch.
+
+    A map-change batch contains exactly one certificate whose payload is a
+    :class:`MapChange`; anything else (including a change smuggled into a
+    mixed batch) is not a config operation.
+    """
+    if len(certificates) == 1 and isinstance(certificates[0].payload, MapChange):
+        return certificates[0].payload
+    return None
 
 
 @dataclass(frozen=True)
@@ -36,11 +107,15 @@ class ShardedBatch(Message):
     shard: int
     shard_seq: int
     batch: OrderedBatch
+    #: partition-map epoch the batch was routed under (part of the vouched
+    #: route binding; map-change markers carry the epoch they *close*)
+    epoch: int = 0
 
     def payload_fields(self) -> Dict[str, Any]:
         return {
             "shard": self.shard,
             "shard_seq": self.shard_seq,
+            "epoch": self.epoch,
             "batch": self.batch.to_wire(),
         }
 
@@ -55,7 +130,7 @@ class ShardLocalBatch(Message):
 
     ``seq`` is the shard-local sequence number; ``global_seq`` is the
     sequence number the agreement certificate covers.  ``request_certificates``
-    holds only the requests owned by ``shard``;
+    holds only the requests owned by ``shard`` at ``epoch``;
     ``full_request_certificates`` holds the whole batch, which is what the
     agreement certificate's batch digest binds.
     """
@@ -68,6 +143,7 @@ class ShardLocalBatch(Message):
     full_request_certificates: Tuple[Certificate, ...]
     agreement_certificate: Certificate
     nondet: NonDetInput
+    epoch: int = 0
 
     def payload_fields(self) -> Dict[str, Any]:
         return {
@@ -75,6 +151,7 @@ class ShardLocalBatch(Message):
             "n": self.seq,
             "gn": self.global_seq,
             "v": self.view,
+            "epoch": self.epoch,
             "requests": [cert.to_wire() for cert in self.full_request_certificates],
             "agreement": self.agreement_certificate.to_wire(),
         }
@@ -93,9 +170,95 @@ class ShardLocalBatch(Message):
     def to_sharded_batch(self) -> ShardedBatch:
         """Rebuild the routing envelope (peer fetches re-vote the binding)."""
         return ShardedBatch(
-            shard=self.shard, shard_seq=self.seq,
+            shard=self.shard, shard_seq=self.seq, epoch=self.epoch,
             batch=OrderedBatch(seq=self.global_seq, view=self.view,
                                request_certificates=self.full_request_certificates,
                                agreement_certificate=self.agreement_certificate,
                                nondet=self.nondet),
         )
+
+
+def handoff_payload(epoch: int, lo: Optional[str], hi: Optional[str],
+                    source_shard: int, target_shard: int,
+                    state_digest: bytes) -> Dict[str, Any]:
+    """The canonical payload a range-handoff authenticator covers.
+
+    Like :func:`repro.messages.checkpoint.checkpoint_payload`, it omits the
+    sender's identity so every source replica's authenticator covers
+    identical bytes and ``g + 1`` matching shares certify the moved state.
+    """
+    return {
+        "range-handoff": epoch,
+        "lo": lo,
+        "hi": hi,
+        "from": source_shard,
+        "to": target_shard,
+        "digest": state_digest,
+    }
+
+
+@dataclass(frozen=True)
+class RangeHandoff(Message):
+    """One source replica's share of a moved key range's state.
+
+    Sent by each replica of the losing cluster, at its epoch cut, to every
+    replica of the gaining cluster.  ``entries`` is the serialized range
+    state (extracted exactly after executing the cut marker), ``reply_table``
+    the source cluster's client-dedup table (merged timestamp-monotonically
+    at the target, so a client request executed pre-cut is never re-executed
+    post-cut), and ``authenticator`` covers :func:`handoff_payload` so the
+    target installs only state that ``g + 1`` distinct source replicas vouch
+    for.
+    """
+
+    epoch: int
+    source_shard: int
+    target_shard: int
+    lo: Optional[str]
+    hi: Optional[str]
+    entries: bytes
+    reply_table: bytes
+    state_digest: bytes
+    replica: NodeId
+    authenticator: Optional["Authenticator"] = None
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "from": self.source_shard,
+            "to": self.target_shard,
+            "lo": self.lo,
+            "hi": self.hi,
+            "d": self.state_digest,
+            "i": self.replica.name,
+        }
+
+    @property
+    def padding_bytes(self) -> int:  # type: ignore[override]
+        return len(self.entries) + len(self.reply_table)
+
+
+@dataclass(frozen=True)
+class RangeFetch(Message):
+    """Request to re-send a range handoff (recovery after loss or a crash).
+
+    A gaining replica blocked at an epoch cut re-asks the source cluster for
+    the moved range; sources keep recent outbound handoffs and re-serve
+    them, so a replica that missed the original multicast is self-driving
+    rather than waiting for operator intervention.
+    """
+
+    epoch: int
+    target_shard: int
+    lo: Optional[str]
+    hi: Optional[str]
+    replica: NodeId
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "to": self.target_shard,
+            "lo": self.lo,
+            "hi": self.hi,
+            "i": self.replica.name,
+        }

@@ -24,6 +24,25 @@ A batch touching requests of several shards (possible when ``bundle_size >
 1``) is sent to *every* owning shard; each shard executes only the subset it
 owns, so cross-shard bundles cost bandwidth but never violate ownership.
 
+**Epoch cuts.**  With dynamic rebalancing, a
+:class:`~repro.sharding.messages.MapChange` config operation occupies one
+global sequence number, and the release frontier gives it deterministic cut
+semantics for free: every batch released before the marker is routed by the
+old partition map, the marker itself is routed to *every* cluster (each
+assigns it the next shard-local sequence number, so each cluster meets the
+cut at a well-defined point in its own order), the queue applies the change
+(or deterministically no-ops it, if a concurrent cut made its parent epoch
+stale), and every batch after it routes by the new map.  Envelopes carry the
+routing epoch, which becomes part of the ``f + 1``-vouched route binding at
+the execution replicas.
+
+The queue also keeps the **per-shard load counters** the rebalancer reads:
+released requests per cluster and per key over the current observation
+window (reset at each cut, so the window always describes the live map).
+Counting at release time means the counters are a pure function of the
+committed prefix -- identical on every correct replica at the same log
+position -- so the primary's proposals are reproducible.
+
 Reply certificates are assembled per shard: ``g + 1`` matching
 authenticators must come from the replicas of the shard named inside the
 (authenticated) reply body, so a quorum can never be assembled across
@@ -45,7 +64,8 @@ from ..messages.request import ClientRequest
 from ..sim.process import Process
 from ..statemachine.nondet import NonDetInput
 from ..util.ids import NodeId
-from .messages import ShardedBatch
+from .messages import ShardedBatch, map_change_of
+from .rebalance import ShardLoadWindow, apply_map_change
 from .router import ShardRouter
 
 #: (shard, shard-local sequence number)
@@ -86,8 +106,19 @@ class ShardRouterQueue(MessageQueue):
         #: reply-certificate assembly, keyed by (shard, shard_seq, body digest)
         self._shard_collectors: Dict[Tuple[int, int, bytes], _ReplyCollector] = {}
 
+        #: this node's partition-map epoch cursor: the epoch governing the
+        #: *next* released batch (advanced exactly at map-change markers)
+        self.epoch = 0
+        #: released-request load counters over the current observation window
+        self.load_window = ShardLoadWindow(num_clusters=self.num_shards)
+        #: cumulative released requests per cluster (never reset; the
+        #: example and benchmarks read these for observability)
+        self.routed_by_shard: List[int] = [0] * self.num_shards
+
         # Statistics.
         self.misrouted_replies = 0
+        self.epoch_cuts = 0
+        self.map_changes_rejected = 0
 
     # ------------------------------------------------------------------ #
     # LocalExecutor interface: routing agreed batches.
@@ -131,12 +162,25 @@ class ShardRouterQueue(MessageQueue):
 
     def _route_batch(self, batch: OrderedBatch) -> None:
         """Advance the per-shard frontiers over one released batch."""
-        shards = self.router.shards_of_certificates(batch.request_certificates)
+        change = map_change_of(batch.request_certificates)
+        if change is not None:
+            # A map-change marker is routed to *every* cluster -- each one
+            # assigns it the next shard-local sequence number, so each
+            # cluster's replicas meet the epoch cut at a deterministic point
+            # in their own execution order (clusters untouched by the move
+            # just bump their epoch and reply).  The envelope is stamped
+            # with the epoch the marker *closes*.
+            shards = list(range(self.num_shards))
+        else:
+            shards = self.router.shards_of_certificates(
+                batch.request_certificates, epoch=self.epoch)
+            self._note_load(batch)
         self._parts_outstanding[batch.seq] = len(shards)
         for shard in shards:
             self._next_shard_seq[shard] += 1
             shard_seq = self._next_shard_seq[shard]
-            envelope = ShardedBatch(shard=shard, shard_seq=shard_seq, batch=batch)
+            envelope = ShardedBatch(shard=shard, shard_seq=shard_seq,
+                                    batch=batch, epoch=self.epoch)
             self._unanswered[shard][shard_seq] = batch.seq
             pending = PendingSend(batch=envelope,
                                   timeout_ms=self.config.timers.agreement_retransmit_ms)
@@ -149,6 +193,41 @@ class ShardRouterQueue(MessageQueue):
             # that quorum form without waiting for retransmission timeouts.
             self._send_to_shard(shard, envelope)
             self._arm_shard_timer(pending)
+        if change is not None:
+            self._apply_cut(change)
+
+    def _note_load(self, batch: OrderedBatch) -> None:
+        """Count one released batch into the rebalancer's load window."""
+        for certificate in batch.request_certificates:
+            request = certificate.payload
+            if not isinstance(request, ClientRequest):
+                continue
+            key = self.router.routing_key(request)
+            cluster = self.router.shard_of_request(request, epoch=self.epoch)
+            self.load_window.note(cluster, key)
+            self.routed_by_shard[cluster] += 1
+
+    def _apply_cut(self, change) -> None:
+        """Apply a released map change (or deterministically no-op it).
+
+        Runs at the same position of the global order on every correct
+        replica, against the same current map -- so either all of them move
+        to the new epoch here, or all of them reject the change as stale.
+        The load window resets either way: post-cut traffic is judged
+        against the map that now routes it.
+        """
+        registry = getattr(self.router.partitioner, "registry", None)
+        if registry is None:
+            self.map_changes_rejected += 1
+            return  # hash partitioning never rebalances
+        new_map = apply_map_change(registry.map_for(self.epoch), change)
+        if new_map is None:
+            self.map_changes_rejected += 1
+            return
+        registry.append(new_map)
+        self.epoch = new_map.epoch
+        self.epoch_cuts += 1
+        self.load_window.reset()
 
     def _send_to_shard(self, shard: int, envelope: ShardedBatch) -> None:
         self.owner.multicast(self.shard_execution_ids[shard], envelope)
@@ -184,8 +263,11 @@ class ShardRouterQueue(MessageQueue):
             return RetryOutcome.HANDLED
         # A multi-shard bundle has one pending part per owning shard, each
         # carrying the full request list; resend only to the shard that owns
-        # the retransmitted request -- the others cannot regenerate its reply.
-        owner = self.router.shard_of_request(request)
+        # the retransmitted request -- the others cannot regenerate its
+        # reply.  Ownership is judged by the *current* epoch; a part routed
+        # pre-cut for a since-moved key is retransmitted by its own
+        # pending-send timer regardless.
+        owner = self.router.shard_of_request(request, epoch=self.epoch)
         for part, pending in self.shard_pending.items():
             if part[0] != owner:
                 continue
@@ -224,8 +306,19 @@ class ShardRouterQueue(MessageQueue):
 
     def request_classifier(self):
         """The deterministic request -> shard mapping (for the primary's
-        per-shard batching and admission)."""
-        return self.router.shard_of_request
+        per-shard batching and admission).  Reads this queue's live epoch,
+        so freshly admitted requests are queued by the map that will route
+        them; requests already queued under an older epoch are re-judged at
+        release time, where routing is authoritative."""
+        return lambda request: self.router.shard_of_request(request,
+                                                            epoch=self.epoch)
+
+    def load_observation(self):
+        """The rebalance controller's inputs: the current observation
+        window and the partition map it describes."""
+        registry = getattr(self.router.partitioner, "registry", None)
+        pmap = registry.map_for(self.epoch) if registry is not None else None
+        return self.load_window, pmap
 
     # ------------------------------------------------------------------ #
     # Reply certificates from the execution clusters.

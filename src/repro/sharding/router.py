@@ -1,4 +1,4 @@
-"""The shard router: operation -> owning execution cluster.
+"""The shard router: operation -> owning execution cluster, per epoch.
 
 A router pairs a :class:`~repro.sharding.partitioner.Partitioner` with an
 application-supplied *key extractor* (e.g.
@@ -15,7 +15,13 @@ identically-configured one) runs in three places:
   shard's ``g + 1`` reply quorum to wait for.
 
 Determinism across these sites is what makes sharding agreement-free: no
-extra protocol round decides ownership, the key does.
+extra protocol round decides ownership, the key does.  With dynamic
+rebalancing the mapping is additionally a function of the *partition-map
+epoch*: every lookup takes the epoch whose map should answer, and each role
+keeps its own epoch cursor advanced at the deterministic cut points the
+agreed order defines (``None`` asks the latest known map -- correct only for
+epoch-unaware callers such as workload drivers on a not-yet-rebalanced
+system).
 """
 
 from __future__ import annotations
@@ -35,7 +41,7 @@ def _no_key(_: Operation) -> Optional[str]:
 
 
 class ShardRouter:
-    """Deterministic request-to-shard mapping."""
+    """Deterministic (request, epoch) -> shard mapping."""
 
     def __init__(self, partitioner: Partitioner,
                  key_extractor: Optional[KeyExtractor] = None) -> None:
@@ -46,11 +52,24 @@ class ShardRouter:
     def num_shards(self) -> int:
         return self.partitioner.num_shards
 
-    def shard_of_operation(self, operation: Operation) -> int:
-        return self.partitioner.shard_of_key(self.key_extractor(operation))
+    @property
+    def latest_epoch(self) -> int:
+        return self.partitioner.latest_epoch
 
-    def shard_of_request(self, request: ClientRequest) -> int:
-        """Shard owning a client request.
+    def routing_key(self, request: ClientRequest) -> Optional[str]:
+        """The routing key of a client request (None = keyless/opaque)."""
+        operation = request.operation
+        if isinstance(operation, EncryptedBody):
+            return None
+        return self.key_extractor(operation)
+
+    def shard_of_operation(self, operation: Operation,
+                           epoch: Optional[int] = None) -> int:
+        return self.partitioner.shard_of_key(self.key_extractor(operation), epoch)
+
+    def shard_of_request(self, request: ClientRequest,
+                         epoch: Optional[int] = None) -> int:
+        """Shard owning a client request at ``epoch``.
 
         Encrypted request bodies (privacy-firewall deployments) hide the key
         from the router; the configuration layer forbids combining sharding
@@ -60,15 +79,18 @@ class ShardRouter:
         operation = request.operation
         if isinstance(operation, EncryptedBody):
             return DEFAULT_SHARD
-        return self.shard_of_operation(operation)
+        return self.shard_of_operation(operation, epoch)
 
-    def shards_of_requests(self, requests: List[ClientRequest]) -> List[int]:
+    def shards_of_requests(self, requests: List[ClientRequest],
+                           epoch: Optional[int] = None) -> List[int]:
         """Distinct owning shards of a batch's requests, in ascending order."""
-        return sorted({self.shard_of_request(request) for request in requests})
+        return sorted({self.shard_of_request(request, epoch)
+                       for request in requests})
 
-    def shards_of_certificates(self, certificates) -> List[int]:
+    def shards_of_certificates(self, certificates,
+                               epoch: Optional[int] = None) -> List[int]:
         """Distinct owning shards of a batch of request *certificates* (the
         shape the agreement layer holds), ascending."""
         return self.shards_of_requests(
             [certificate.payload for certificate in certificates
-             if isinstance(certificate.payload, ClientRequest)])
+             if isinstance(certificate.payload, ClientRequest)], epoch)

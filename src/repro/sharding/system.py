@@ -35,6 +35,7 @@ from .client import ShardAwareClient
 from .execution import ShardExecutionNode
 from .partitioner import make_partitioner
 from .queue import ShardRouterQueue
+from .rebalance import RebalanceController
 from .router import KeyExtractor, ShardRouter
 
 #: name prefix of each shard's threshold-signature group
@@ -43,8 +44,17 @@ SHARD_THRESHOLD_GROUP_PREFIX = "execution-replies-shard"
 
 def sharded_topology(clients: List[NodeId], agreement: List[NodeId],
                      shard_execution_ids: List[List[NodeId]],
-                     allow_client_execution: bool = True) -> Topology:
-    """Physical wiring of the sharded deployment (no cross-shard links)."""
+                     allow_client_execution: bool = True,
+                     cross_shard_links: bool = False) -> Topology:
+    """Physical wiring of the sharded deployment.
+
+    Static deployments have *no* cross-shard links: shard isolation is
+    enforced by the network.  Dynamic rebalancing needs the clusters wired
+    to each other (``cross_shard_links=True``) so a moved key range's state
+    can be handed off at an epoch cut -- the trust model is unchanged, since
+    handoffs are accepted only with ``g + 1`` matching source-replica
+    shares, never on the say-so of one peer.
+    """
     topo = Topology(fully_connected=False)
     topo.add_links(clients, agreement)
     topo.add_links(agreement, agreement)
@@ -53,6 +63,10 @@ def sharded_topology(clients: List[NodeId], agreement: List[NodeId],
         topo.add_links(shard_ids, shard_ids)
         if allow_client_execution:
             topo.add_links(clients, shard_ids)
+    if cross_shard_links:
+        for i, left in enumerate(shard_execution_ids):
+            for right in shard_execution_ids[i + 1:]:
+                topo.add_links(left, right)
     return topo
 
 
@@ -109,7 +123,8 @@ class ShardedSystem(SimulatedSystem):
         self.network.topology = sharded_topology(
             clients=self.client_ids, agreement=self.agreement_ids,
             shard_execution_ids=self.shard_execution_ids,
-            allow_client_execution=config.direct_execution_reply)
+            allow_client_execution=config.direct_execution_reply,
+            cross_shard_links=config.rebalance.enabled)
 
         # ---------------- Execution clusters (one per shard). ---------- #
         self.shard_execution_nodes: List[List[ShardExecutionNode]] = []
@@ -124,6 +139,7 @@ class ShardedSystem(SimulatedSystem):
                     agreement_ids=self.agreement_ids, execution_ids=shard_ids,
                     client_ids=self.client_ids, upstream=self.agreement_ids,
                     shard=shard, router=self.router, threshold_group=group,
+                    shard_execution_ids=self.shard_execution_ids,
                 )
                 cluster.append(node)
                 self.network.register(node)
@@ -149,8 +165,14 @@ class ShardedSystem(SimulatedSystem):
             replica.local = queue
             if config.pipeline.per_shard_depth is not None:
                 # Skew-aware concurrency: single-shard bundles with per-shard
-                # AIMD controllers and per-shard admission windows.
-                replica.enable_per_shard_batching(self.router.shard_of_request)
+                # AIMD controllers and per-shard admission windows (the
+                # classifier reads the queue's live partition-map epoch).
+                replica.enable_per_shard_batching(queue.request_classifier())
+            if config.rebalance.enabled:
+                # Every replica hosts a rebalance controller (any of them
+                # may become primary); only the current primary proposes.
+                replica.attach_rebalancer(RebalanceController(config.rebalance),
+                                          queue.load_observation)
             self.message_queues.append(queue)
             self.agreement_replicas.append(replica)
             self.network.register(replica)
@@ -201,9 +223,39 @@ class ShardedSystem(SimulatedSystem):
         """Crash one execution replica of ``shard`` (up to ``g`` per shard)."""
         self.shard_execution_nodes[shard][index].crash()
 
-    def shard_of_key(self, key: str) -> int:
+    def shard_of_key(self, key: str, epoch: Optional[int] = None) -> int:
         """The shard owning ``key`` (convenience for tests and demos)."""
-        return self.router.partitioner.shard_of_key(key)
+        return self.router.partitioner.shard_of_key(key, epoch)
+
+    # ------------------------------------------------------------------ #
+    # Rebalancing observability (example, benchmarks, tests).
+    # ------------------------------------------------------------------ #
+
+    def partition_epoch(self) -> int:
+        """The partition-map epoch agreement node 0's router has reached."""
+        return self.message_queues[0].epoch
+
+    def partition_map(self):
+        """The partition map at :meth:`partition_epoch` (None for hash)."""
+        _, pmap = self.message_queues[0].load_observation()
+        return pmap
+
+    def shard_load_window(self) -> List[int]:
+        """Released requests per cluster in the current observation window."""
+        return list(self.message_queues[0].load_window.requests_by_cluster)
+
+    def shard_load_total(self) -> List[int]:
+        """Cumulative released requests per cluster since construction."""
+        return list(self.message_queues[0].routed_by_shard)
+
+    def epoch_cuts(self) -> int:
+        """Epoch cuts applied by agreement node 0's router."""
+        return self.message_queues[0].epoch_cuts
+
+    def map_changes(self) -> List:
+        """Map changes proposed so far (split/merge/move counters per
+        replica's controller; index 0 is usually the primary)."""
+        return [replica._rebalancer for replica in self.agreement_replicas]
 
     def requests_executed_by_shard(self) -> List[int]:
         """Requests executed per shard (max over each shard's correct nodes)."""

@@ -97,3 +97,34 @@ class StateMachine(ABC):
     def reset(self) -> None:
         """Return the machine to its initial state.  Subclasses may override."""
         raise NotImplementedError(f"{type(self).__name__} does not support reset()")
+
+    # ------------------------------------------------------------------ #
+    # Partial-state handoff (dynamic shard rebalancing).
+    # ------------------------------------------------------------------ #
+
+    def extract_range(self, lo: Optional[str], hi: Optional[str]) -> bytes:
+        """Remove and serialize the state of keys in ``[lo, hi)``.
+
+        Used by ``repro.sharding`` when a rebalancing epoch cut moves a key
+        range to another execution cluster: the losing replicas extract the
+        range (deterministically, at the cut point in their local order) and
+        hand the bytes off.  ``None`` bounds are the open ends of the key
+        space.  Applications that do not partition by key may leave the
+        default, which rejects rebalancing rather than corrupting state.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support range extraction"
+        )
+
+    def install_range(self, lo: Optional[str], hi: Optional[str],
+                      data: bytes) -> None:
+        """Replace the state of keys in ``[lo, hi)`` with ``data``.
+
+        The inverse of :meth:`extract_range`: existing keys in the range are
+        dropped first, so installing is idempotent and a stale local copy of
+        a range that left and returned can never shadow the handed-off
+        truth.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support range installation"
+        )

@@ -22,6 +22,8 @@ from .skew import (
     SkewWindowResult,
     equal_range_boundaries,
     hot_range_operations,
+    migrating_hot_range_operations,
+    run_ordered_window,
     run_skew_window,
     shard_affine_clients,
     zipf_operations,
@@ -32,6 +34,8 @@ __all__ = [
     "SkewWindowResult",
     "equal_range_boundaries",
     "hot_range_operations",
+    "migrating_hot_range_operations",
+    "run_ordered_window",
     "run_skew_window",
     "shard_affine_clients",
     "zipf_operations",

@@ -74,6 +74,44 @@ def hot_range_operations(num_requests: int, *, key_space: int = 64,
     return operations
 
 
+def migrating_hot_range_operations(num_requests: int, *, key_space: int = 64,
+                                   num_phases: int = 3,
+                                   hot_fraction: float = 0.8,
+                                   hot_key_fraction: float = 0.25,
+                                   write_fraction: float = 0.5,
+                                   value_size: int = 32,
+                                   seed: int = 0) -> List:
+    """A hotspot that *moves*: the rebalancer's worst honest adversary.
+
+    The request stream is divided into ``num_phases`` equal phases; within
+    each phase, ``hot_fraction`` of the requests target one contiguous
+    ``hot_key_fraction`` window of the key space, and the window shifts to a
+    different region every phase (phase ``p`` starts at offset ``p *
+    key_space / num_phases``).  Static boundaries serialise every phase
+    behind whichever shard owns the current window; a rebalancer must keep
+    splitting the live hotspot apart -- and re-merging the ranges the
+    hotspot abandoned -- to keep all clusters busy.
+    """
+    hot_count = max(1, int(key_space * hot_key_fraction))
+    per_phase = max(1, num_requests // num_phases)
+    rng = random.Random(seed)
+    operations = []
+    for index in range(num_requests):
+        phase = min(index // per_phase, num_phases - 1)
+        offset = key_space * phase // num_phases
+        if rng.random() < hot_fraction:
+            key_index = (offset + rng.randrange(hot_count)) % key_space
+        else:
+            cold = rng.randrange(key_space - hot_count)
+            key_index = (offset + hot_count + cold) % key_space
+        key = skew_key(key_index)
+        if rng.random() < write_fraction:
+            operations.append(kv_put(key, "v" * value_size))
+        else:
+            operations.append(kv_get(key))
+    return operations
+
+
 def zipf_operations(num_requests: int, *, key_space: int = 64,
                     exponent: float = 1.2, write_fraction: float = 0.5,
                     value_size: int = 32, seed: int = 0) -> List:
@@ -124,6 +162,49 @@ class SkewWindowResult:
         shards = "/".join(str(count) for count in self.committed_by_shard)
         return (f"{self.label:<26} {self.committed:>7} "
                 f"{self.committed_per_sec:>10.1f}   [{shards}]")
+
+
+def run_ordered_window(system: SimulatedSystem, *, operations: Sequence,
+                       duration_ms: float, label: str = "",
+                       warmup_ms: float = 200.0) -> SkewWindowResult:
+    """Fixed-window driver that preserves the stream's *temporal* structure.
+
+    Operations are dealt round-robin over every client, so each client's
+    closed-loop FIFO holds an in-order slice of the stream and the whole
+    cohort advances through it roughly in lockstep -- a workload whose
+    hotspot migrates over the stream (``migrating_hot_range_operations``)
+    therefore migrates over *time* at the servers.  (The shard-affine driver
+    below would instead pre-sort the stream into per-shard pools, executing
+    all phases concurrently and erasing the very migration a rebalancer
+    reacts to.)  Measurement matches :func:`run_skew_window`: per-shard
+    executed-request deltas over a fixed window after warmup.
+    """
+    router = getattr(system, "router", None)
+    if router is None:
+        raise ValueError("run_ordered_window needs a sharded system (no router)")
+    num_shards = router.num_shards
+    num_clients = len(system.clients)
+    submitted_by_shard = [0] * num_shards
+    for index, operation in enumerate(operations):
+        system.submit(operation, client_index=index % num_clients)
+        submitted_by_shard[router.shard_of_operation(operation, epoch=0)] += 1
+
+    system.run(warmup_ms)
+    executed_before = list(system.requests_executed_by_shard())
+    system.run(duration_ms)
+    executed_after = list(system.requests_executed_by_shard())
+    committed_by_shard = [after - before for before, after
+                          in zip(executed_before, executed_after)]
+    committed = sum(committed_by_shard)
+    return SkewWindowResult(
+        label=label,
+        duration_ms=duration_ms,
+        committed=committed,
+        committed_per_sec=1000.0 * committed / max(duration_ms, 1e-9),
+        committed_by_shard=committed_by_shard,
+        submitted_by_shard=submitted_by_shard,
+        clients_by_shard=[num_clients // num_shards] * num_shards,
+    )
 
 
 def run_skew_window(system: SimulatedSystem, *, operations: Sequence,
