@@ -110,6 +110,13 @@ class AgreementReplica(Process):
         #: deterministic request -> shard mapping (set by the sharded system
         #: when per-shard pipelining is configured; None = global pipeline)
         self._shard_classifier = None
+        #: cross-shard probe: request -> touched shard list (len >= 2) or
+        #: None, judged at the live partition-map epoch (set by the sharded
+        #: system when cross-shard operations are enabled)
+        self._cross_shard_probe = None
+        #: cross-shard requests awaiting their single-certificate marker
+        #: batch (drained ahead of the per-shard bundles)
+        self._cross_shard_pending: List[Certificate] = []
         #: rebalance controller + load observer (set by the sharded system
         #: when dynamic rebalancing is configured)
         self._rebalancer = None
@@ -127,6 +134,7 @@ class AgreementReplica(Process):
         self.batches_delivered = 0
         self.requests_delivered = 0
         self.view_changes_completed = 0
+        self.cross_shard_ordered = 0
 
     # ------------------------------------------------------------------ #
     # Role helpers.
@@ -158,6 +166,26 @@ class AgreementReplica(Process):
             classifier=lambda cert: classifier(cert.payload),
             controller_factory=lambda: make_bundle_controller(self.config),
             demote_idle_ms=self.config.batching.demote_idle_ms)
+
+    def enable_cross_shard(self, probe) -> None:
+        """Install the cross-shard request probe (``repro.sharding``).
+
+        ``probe`` maps a :class:`ClientRequest` to the ascending list of
+        shards its keys touch at the hosting router queue's live epoch, or
+        ``None`` for single-shard requests.  A cross-shard request is then
+        ordered exactly like a config operation -- alone, as a
+        single-certificate batch -- so its sequence number is a
+        deterministic consistent cut over every touched shard's release
+        frontier.
+        """
+        self._cross_shard_probe = probe
+
+    def _probe_cross_shard(self, request) -> Optional[List[int]]:
+        if self._cross_shard_probe is None:
+            return None
+        if not isinstance(request, ClientRequest):
+            return None
+        return self._cross_shard_probe(request)
 
     def attach_rebalancer(self, controller, observe) -> None:
         """Install a rebalance controller (``repro.sharding.rebalance``).
@@ -252,7 +280,10 @@ class AgreementReplica(Process):
         self._admit_request(certificate, request)
 
     def _admit_request(self, certificate: Certificate, request: ClientRequest) -> None:
-        added = self.batcher.add(certificate, now=self.now)
+        if self._probe_cross_shard(request) is not None:
+            added = self._admit_cross_shard(certificate, request)
+        else:
+            added = self.batcher.add(certificate, now=self.now)
         if not added:
             return
         self._arm_request_deadline(request)
@@ -264,6 +295,31 @@ class AgreementReplica(Process):
             # triggers a view change if the primary never orders it.
             self.send(self.primary_of(self.view),
                       RequestEnvelope(certificate=certificate))
+
+    def _admit_cross_shard(self, certificate: Certificate,
+                           request: ClientRequest) -> bool:
+        """Queue a cross-shard request for its own marker batch.
+
+        Cross-shard requests bypass the per-shard bundles: a marker must be
+        the *only* certificate of its batch, so that its sequence number is
+        a clean cut (the same single-certificate discipline config
+        operations use).  Duplicates (a retransmission racing the pending
+        marker) are folded like the batcher folds them.
+        """
+        for pending in self._cross_shard_pending:
+            queued: ClientRequest = pending.payload
+            if (queued.client == request.client
+                    and queued.timestamp == request.timestamp):
+                return False
+        self._cross_shard_pending.append(certificate)
+        return True
+
+    def _drop_cross_shard_pending(self, client: NodeId, timestamp: int) -> None:
+        self._cross_shard_pending = [
+            certificate for certificate in self._cross_shard_pending
+            if not (certificate.payload.client == client
+                    and certificate.payload.timestamp <= timestamp)
+        ]
 
     def _arm_request_deadline(self, request: ClientRequest) -> None:
         key = (request.client, request.timestamp)
@@ -300,7 +356,7 @@ class AgreementReplica(Process):
         if not self.is_primary or self._view_changing:
             return
         self._drain_bundles(full_only=True)
-        if self.batcher.has_work():
+        if self._has_pending_work():
             timeout = self.config.timers.batch_timeout_ms
             if (self._adaptive_batching and self._admissible_work()
                     and self._batches_in_flight() <= 1):
@@ -344,6 +400,7 @@ class AgreementReplica(Process):
         while a hot shard's pipeline is at capacity.
         """
         self._prune_answered()
+        self._drain_cross_shard()
         progressed = True
         while progressed:
             progressed = False
@@ -355,8 +412,61 @@ class AgreementReplica(Process):
                     progressed = True
                     break
 
+    def _drain_cross_shard(self) -> None:
+        """Order every admissible pending cross-shard marker (FIFO).
+
+        A marker is always a complete "bundle" of one, so it drains on
+        every pass -- full-bundle and flush alike.  A queued request whose
+        keys collapsed onto a single shard since admission (a rebalance
+        merged them) is handed to the ordinary batcher instead.
+        """
+        while self._cross_shard_pending:
+            certificate = self._cross_shard_pending[0]
+            request: ClientRequest = certificate.payload
+            touched = self._probe_cross_shard(request)
+            if touched is None:
+                self._cross_shard_pending.pop(0)
+                self.batcher.add(certificate, now=self.now)
+                continue
+            if not self._can_start_cross(self.next_seq, touched):
+                return
+            self._cross_shard_pending.pop(0)
+            self._gather_deadline = None
+            seq = self._order_batch([certificate])
+            self.log.note_cross_shard(self.view, seq)
+            if self._shard_classifier is not None:
+                self._inflight_shard_requests[seq] = {shard: 1
+                                                      for shard in touched}
+            self.cross_shard_ordered += 1
+
+    def _can_start_cross(self, seq: int, touched: List[int]) -> bool:
+        """Admission check for a cross-shard marker.
+
+        The marker occupies one slot in *every* touched shard's local
+        sequence, so per-shard admission requires room in each touched
+        window; the log's ``[h, h + L]`` watermark window applies as
+        always.
+        """
+        if seq > self.log.high_watermark:
+            return False
+        if self._per_shard_admission:
+            depth = self.config.pipeline.per_shard_depth
+            return all(self._shard_in_flight(shard) < depth
+                       for shard in touched)
+        return self._can_start(seq, shard=None)
+
+    def _has_pending_work(self) -> bool:
+        """Pending requests anywhere: the per-shard bundles or the
+        cross-shard marker queue."""
+        return self.batcher.has_work() or bool(self._cross_shard_pending)
+
     def _admissible_work(self) -> bool:
         """Whether any pending queue could be ordered right now."""
+        if self._cross_shard_pending:
+            request = self._cross_shard_pending[0].payload
+            touched = self._probe_cross_shard(request)
+            if touched is None or self._can_start_cross(self.next_seq, touched):
+                return True
         return any(self._can_start(self.next_seq, shard=shard)
                    for shard in self.batcher.shards())
 
@@ -393,7 +503,7 @@ class AgreementReplica(Process):
             for shard in self.batcher.due_shards(self.now, base):
                 if self._can_start(self.next_seq, shard=shard):
                     self._make_batch(shard=shard)
-            if self.batcher.has_work():
+            if self._has_pending_work():
                 deadline = self.batcher.next_flush_deadline(base)
                 delay = base if deadline is None else min(
                     max(deadline - self.now, 0.05 * base), base)
@@ -402,7 +512,7 @@ class AgreementReplica(Process):
                     label=f"{self.node_id}:batch-timeout")
             return
         self._drain_bundles(full_only=False)
-        if self.batcher.has_work():
+        if self._has_pending_work():
             # Pipeline is full: try again shortly.
             self._batch_timer = self.set_timer(
                 base,
@@ -590,6 +700,9 @@ class AgreementReplica(Process):
         entry.pre_prepare = message
         if self._is_config_batch(message.requests):
             entry.config_op = True
+        elif (len(message.requests) == 1 and
+              self._probe_cross_shard(message.requests[0].payload) is not None):
+            entry.cross_shard = True
         self.nondet.accept(message.nondet)
         prepare = Prepare(view=self.view, seq=message.seq,
                           batch_digest=message.batch_digest, replica=self.node_id)
@@ -615,6 +728,14 @@ class AgreementReplica(Process):
             return False
         if not self.nondet.sanity_check(message.nondet, self.now):
             return False
+        # A cross-shard request inside a mixed bundle is NOT rejected here:
+        # classification depends on the partition-map epoch, and a backup
+        # whose router lags one cut behind the primary would refuse a
+        # correct proposal.  The release-time router handles it instead --
+        # judged at the deterministic release epoch, such a request is
+        # excluded from routing and ownership everywhere, so it is never
+        # executed against partial state and the client's retransmission
+        # re-orders it as a proper marker.
         return True
 
     @staticmethod
@@ -797,6 +918,7 @@ class AgreementReplica(Process):
             previous = self.ordered_timestamp.get(request.client, -1)
             self.ordered_timestamp[request.client] = max(previous, request.timestamp)
             self.batcher.remove(request.client, request.timestamp)
+            self._drop_cross_shard_pending(request.client, request.timestamp)
             self._clear_request_deadline(request.client, request.timestamp)
         if self.log.is_checkpoint_seq(entry.seq):
             self._emit_checkpoint(entry.seq)
@@ -939,7 +1061,8 @@ class AgreementReplica(Process):
         # in the new view; the primary picks them up from the batcher and the
         # backups re-arm their deadlines so that a still-faulty primary (or a
         # lost pre-prepare) triggers the next view change.
-        for certificate in self.batcher.pending_requests():
+        for certificate in (self.batcher.pending_requests()
+                            + self._cross_shard_pending):
             request = certificate.payload
             if isinstance(request, ClientRequest):
                 self._arm_request_deadline(request)

@@ -8,7 +8,7 @@ than the counter, while remaining fully deterministic.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from ..statemachine.interface import Operation, OperationResult, StateMachine
 from ..statemachine.nondet import NonDetInput
@@ -41,6 +41,38 @@ def list_keys(prefix: str = "") -> Operation:
     return Operation(kind="list", args={"prefix": prefix}, body_size=64)
 
 
+def multi_get(keys, epoch: Optional[int] = None) -> Operation:
+    """Snapshot read over several keys (possibly on several shards).
+
+    In a sharded deployment with cross-shard operations enabled, the read
+    executes at a consistent cut: every key's value comes from the same
+    deterministic prefix of the agreed order.  ``epoch`` pins the
+    partition-map epoch the reader expects (the shard-aware client stamps
+    its own cursor in automatically); a cut that moves the map under the
+    operation aborts it deterministically instead of answering from a
+    torn key->shard assignment.
+    """
+    ordered = sorted(str(key) for key in keys)
+    return Operation(kind="multi_get", args={"keys": ordered, "epoch": epoch},
+                     body_size=64 + 16 * len(ordered))
+
+
+def transaction(reads: Dict[str, Any], writes: Dict[str, Any],
+                epoch: Optional[int] = None) -> Operation:
+    """Write transaction with read-set validation.
+
+    Commits -- applying every write atomically across all touched shards --
+    if and only if every key in ``reads`` currently holds its expected
+    value at the transaction's consistent cut; otherwise aborts with the
+    observed values.  An empty read set commits unconditionally (an atomic
+    multi-shard write).
+    """
+    return Operation(kind="txn",
+                     args={"reads": dict(reads), "writes": dict(writes),
+                           "epoch": epoch},
+                     body_size=64 + 32 * (len(reads) + len(writes)))
+
+
 def extract_key(operation: Operation) -> Optional[str]:
     """Routing key of a key-value operation (``repro.sharding``).
 
@@ -50,7 +82,13 @@ def extract_key(operation: Operation) -> Optional[str]:
     their key; ``list`` routes by its prefix (an empty prefix -- and any
     unknown operation kind -- returns ``None``, which partitioners map to a
     fixed default shard, so ``list`` only enumerates keys of one shard).
+    Multi-key operations route by their smallest key -- the representative
+    used when all their keys happen to live on one shard (the cross-shard
+    marker path takes over otherwise).
     """
+    keys = extract_keys(operation)
+    if keys:
+        return keys[0]
     key = operation.args.get("key")
     if key is not None:
         return str(key)
@@ -60,11 +98,29 @@ def extract_key(operation: Operation) -> Optional[str]:
     return None
 
 
+def extract_keys(operation: Operation) -> Optional[Tuple[str, ...]]:
+    """All routing keys of a multi-key operation, sorted (None otherwise).
+
+    The shard router uses this to classify an operation as cross-shard:
+    when the keys map to more than one execution cluster, the operation is
+    ordered as a consistent-cut marker instead of a normal request.
+    """
+    if operation.kind == "multi_get":
+        return tuple(sorted(str(key) for key in operation.args.get("keys", ())))
+    if operation.kind == "txn":
+        keys = set(operation.args.get("reads", {})) | set(
+            operation.args.get("writes", {}))
+        return tuple(sorted(str(key) for key in keys))
+    return None
+
+
 class KeyValueStore(StateMachine):
     """A deterministic in-memory key-value store."""
 
     #: key-extraction function used by the shard router for this application
     extract_key = staticmethod(extract_key)
+    #: multi-key extraction (cross-shard operation classification)
+    extract_keys = staticmethod(extract_keys)
 
     def __init__(self) -> None:
         self._data: Dict[str, Any] = {}
@@ -95,6 +151,23 @@ class KeyValueStore(StateMachine):
             prefix = args.get("prefix", "")
             keys = sorted(k for k in self._data if k.startswith(prefix))
             return OperationResult(value={"keys": keys}, size=16 + 8 * len(keys))
+        if kind == "multi_get":
+            # Single-shard execution of a multi-key read (all keys on this
+            # shard, or an unsharded deployment): trivially a snapshot.
+            values = self.snapshot_read(args.get("keys", ()))
+            return OperationResult(value={"values": values},
+                                   size=16 + 16 * len(values))
+        if kind == "txn":
+            reads = args.get("reads", {})
+            writes = args.get("writes", {})
+            observed = self.snapshot_read(reads)
+            committed = all(observed.get(key) == expected
+                            for key, expected in reads.items())
+            if committed:
+                self.apply_writes(writes)
+            return OperationResult(value={"committed": committed,
+                                          "observed": observed},
+                                   size=24 + 16 * len(observed))
         return OperationResult(value=None, error=f"unknown operation {kind}")
 
     # ------------------------------------------------------------------ #
@@ -135,6 +208,18 @@ class KeyValueStore(StateMachine):
         for key in [k for k in self._data if self._in_range(k, lo, hi)]:
             del self._data[key]
         self._data.update(json.loads(data.decode())["entries"])
+
+    # ------------------------------------------------------------------ #
+    # Multi-key sub-operations (cross-shard operations at a consistent cut).
+    # ------------------------------------------------------------------ #
+
+    def snapshot_read(self, keys) -> Dict[str, Any]:
+        return {str(key): self._data.get(str(key)) for key in keys}
+
+    def apply_writes(self, writes: Dict[str, Any]) -> None:
+        for key, value in writes.items():
+            self._data[str(key)] = value
+        self.operations_applied += len(writes)
 
     # ------------------------------------------------------------------ #
     # Direct inspection (tests only; not part of the replicated API).

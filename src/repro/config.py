@@ -286,6 +286,55 @@ class RebalanceConfig:
 
 
 @dataclass(frozen=True)
+class CrossShardConfig:
+    """Cross-shard operations at a consistent cut (``repro.sharding``).
+
+    Sharded execution runs each shard's subsequence of the agreed order
+    independently, so a batch touching ``k`` shards is normally ``k``
+    unrelated executions.  When cross-shard operations are enabled, a
+    multi-shard operation (a snapshot read over keys on several shards, or
+    a write transaction with read-set validation) is ordered through the
+    ordinary agreement log as a *marker* batch -- a single-certificate
+    batch, exactly like a partition-map config operation -- and its
+    agreement sequence number is a deterministic **consistent cut**: every
+    touched shard's release frontier reaches the marker with exactly the
+    agreed prefix below it executed, each touched cluster executes its
+    sub-operation against that frontier state, and the lowest touched
+    shard's cluster collates the per-shard ``g + 1``-certified sub-replies
+    into one client reply.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  Off by default: multi-shard operations are refused
+        at the client and the routing layers never classify markers, so a
+        static deployment behaves exactly as before.
+    max_keys:
+        Upper bound on the number of keys one cross-shard operation may
+        touch (bounds marker execution work and sub-reply sizes; a client
+        exceeding it has its submission rejected locally).
+    retry_limit:
+        How many times a client transparently re-issues an operation whose
+        pinned epoch went stale under it (a rebalance cut raced the marker;
+        every replica reports the same deterministic abort carrying the new
+        epoch).  Beyond the limit the operation completes with an error.
+    """
+
+    enabled: bool = False
+    max_keys: int = 16
+    retry_limit: int = 4
+
+    def validate(self) -> None:
+        if self.max_keys < 2:
+            raise ConfigurationError(
+                "cross-shard max_keys must be at least 2 (a single-key "
+                "operation is never cross-shard)"
+            )
+        if self.retry_limit < 0:
+            raise ConfigurationError("cross-shard retry_limit must be non-negative")
+
+
+@dataclass(frozen=True)
 class PerfConfig:
     """Hot-path fast-path switches (the verification/encoding fast path).
 
@@ -469,6 +518,7 @@ class SystemConfig:
     timers: TimerConfig = field(default_factory=TimerConfig)
     sharding: ShardingConfig = field(default_factory=ShardingConfig)
     rebalance: RebalanceConfig = field(default_factory=RebalanceConfig)
+    cross_shard: CrossShardConfig = field(default_factory=CrossShardConfig)
     perf: PerfConfig = field(default_factory=PerfConfig)
     batching: BatchingConfig = field(default_factory=BatchingConfig)
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
@@ -507,10 +557,17 @@ class SystemConfig:
                 "dynamic shard rebalancing requires the 'range' sharding "
                 "strategy (hash partitioning has no boundaries to move)"
             )
+        if self.cross_shard.enabled and self.use_privacy_firewall:
+            raise ConfigurationError(
+                "cross-shard operations are incompatible with the privacy "
+                "firewall: the routing layers must read operation keys, "
+                "which the firewall deployment encrypts end-to-end"
+            )
         self.network.validate()
         self.timers.validate()
         self.sharding.validate()
         self.rebalance.validate()
+        self.cross_shard.validate()
         self.perf.validate()
         self.batching.validate()
         self.pipeline.validate()

@@ -27,11 +27,17 @@ while ordering capacity stays fixed.
 from .client import ShardAwareClient
 from .execution import ShardExecutionNode
 from .messages import (
+    CrossShardReply,
+    CrossShardSubReply,
+    CrossShardVote,
+    CrossShardVoteFetch,
     MapChange,
     RangeFetch,
     RangeHandoff,
     ShardedBatch,
     ShardLocalBatch,
+    SubReplyBody,
+    cross_shard_request_of,
     map_change_of,
 )
 from .partitioner import (
@@ -50,10 +56,16 @@ from .router import ShardRouter
 from .system import ShardedSystem, sharded_topology
 
 __all__ = [
+    "CrossShardReply",
+    "CrossShardSubReply",
+    "CrossShardVote",
+    "CrossShardVoteFetch",
     "DEFAULT_SHARD",
     "HashPartitioner",
     "KeyRangePartitioner",
     "MapChange",
+    "SubReplyBody",
+    "cross_shard_request_of",
     "MovedRange",
     "PartitionMap",
     "PartitionMapRegistry",

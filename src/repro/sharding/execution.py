@@ -64,10 +64,12 @@ from __future__ import annotations
 
 import json
 import pickle
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
-from ..config import SystemConfig
+from ..config import AuthenticationScheme, SystemConfig
 from ..core.execution import ExecutionNode
+from ..crypto.certificate import Certificate
 from ..crypto.keys import Keystore
 from ..messages.agreement import OrderedBatch
 from ..messages.checkpoint import BatchTransfer
@@ -75,16 +77,23 @@ from ..messages.reply import BatchReplyBody, ReplyBody
 from ..messages.request import ClientRequest
 from ..net.message import Message
 from ..sim.scheduler import Scheduler
-from ..statemachine.interface import StateMachine
-from ..util.ids import NodeId
+from ..statemachine.interface import OperationResult, StateMachine
+from ..util.ids import NodeId, Role
 from .messages import (
+    CrossShardReply,
+    CrossShardSubReply,
+    CrossShardVote,
+    CrossShardVoteFetch,
     MapChange,
     RangeFetch,
     RangeHandoff,
     ShardedBatch,
     ShardLocalBatch,
+    SubReplyBody,
+    cross_shard_request_of,
     handoff_payload,
     map_change_of,
+    vote_payload,
 )
 from .rebalance import apply_map_change
 from .router import ShardRouter
@@ -92,12 +101,70 @@ from .router import ShardRouter
 #: (epoch, lo, hi) identifying one moved key range
 RangeKey = Tuple[int, Optional[str], Optional[str]]
 
+#: (client, timestamp, epoch) identifying one cross-shard transaction's votes
+TxnKey = Tuple[NodeId, int, int]
+
 #: how many epochs of outbound handoffs a source replica keeps for re-serving
 _HANDOFF_RETENTION_EPOCHS = 4
 
 #: cap on buffered *pre-arrival* handoff shares (ranges this replica is not
 #: yet awaiting); awaited ranges are always buffered regardless
 _HANDOFF_BUFFER_CAP = 64
+
+#: outbound cross-shard votes kept for re-serving fetches
+_VOTE_RETENTION = 32
+
+#: cap on buffered vote tallies for transactions this replica is not itself
+#: blocked on (pre-arrivals from clusters that reached the marker first)
+_VOTE_BUFFER_CAP = 64
+
+#: cap on *tentative* collations (sub-reply fragments buffered before this
+#: replica's own marker execution names the touched set)
+_COLLATION_BUFFER_CAP = 64
+
+#: cap on distinct not-yet-certified fragment collectors per collation (a
+#: Byzantine sender varying the body gets one collector per digest)
+_COLLECTOR_CAP = 32
+
+
+@dataclass
+class _PendingTxn:
+    """A cross-shard transaction blocked at its marker slot.
+
+    The commit decision needs every peer shard's certified read-set
+    observations; until they arrive, execution past the marker is gated
+    (the next batch could read keys the transaction is about to write).
+    """
+
+    request: ClientRequest
+    local: ShardLocalBatch
+    touched: List[int]
+    reads: Dict[str, Any]
+    writes: Dict[str, Any]
+    #: own-shard read-set observations at the cut
+    observed: Dict[str, Any]
+
+
+@dataclass
+class _Collation:
+    """Per-client assembly state for one cross-shard operation's sub-replies.
+
+    Every touched cluster's replicas run one of these (not just the
+    collator's): partial sub-certificates are merged per ``(shard, body
+    digest)`` until ``g + 1`` distinct signers of that shard vouch for the
+    fragment, and once every touched shard is certified the assembled
+    reply is cached -- the collator sends it immediately, the other
+    clusters re-serve it when a duplicate marker signals the client is
+    still waiting (the crashed-collator fallover path).
+    """
+
+    timestamp: int
+    #: touched shards, known once this replica executes its own marker slot
+    touched: Optional[List[int]] = None
+    collectors: Dict[Tuple[int, bytes], Certificate] = field(default_factory=dict)
+    full: Dict[int, Certificate] = field(default_factory=dict)
+    full_bodies: Dict[int, SubReplyBody] = field(default_factory=dict)
+    reply: Optional[CrossShardReply] = None
 
 
 class ShardExecutionNode(ExecutionNode):
@@ -139,12 +206,34 @@ class ShardExecutionNode(ExecutionNode):
         #: checkpoint deferred because it fell on a cut awaiting its ranges
         self._deferred_checkpoint: Optional[int] = None
 
+        # ---------------- Cross-shard operation state. ---------------- #
+        #: transaction blocked at its marker awaiting peer-shard votes
+        self._awaiting_txn: Optional[_PendingTxn] = None
+        #: vote tallies: txn key -> shard -> voter -> observation digest
+        self._xs_votes: Dict[TxnKey, Dict[int, Dict[NodeId, bytes]]] = {}
+        #: observation data by (txn key, shard, digest)
+        self._xs_vote_data: Dict[Tuple[TxnKey, int, bytes], Dict[str, Any]] = {}
+        #: own outbound votes kept for re-serving fetches (insertion order)
+        self._xs_outbound_votes: Dict[TxnKey, CrossShardVote] = {}
+        #: latest own sub-reply per client (duplicate-marker resends)
+        self._xs_sub_replies: Dict[NodeId, CrossShardSubReply] = {}
+        #: collation state per (client, timestamp) -- keyed exactly, so a
+        #: forged fragment with an inflated timestamp can only waste one
+        #: bounded tentative slot, never displace genuine assembly state
+        self._xs_collations: Dict[Tuple[NodeId, int], _Collation] = {}
+
         # Statistics used by benchmarks and tests.
         self.stale_epoch_batches = 0
         self.epoch_cuts_applied = 0
         self.ranges_sent = 0
         self.ranges_installed = 0
         self.range_fetches = 0
+        self.cross_shard_executed = 0
+        self.cross_shard_commits = 0
+        self.cross_shard_aborts = 0
+        self.cross_shard_epoch_aborts = 0
+        self.cross_shard_replies_sent = 0
+        self.vote_fetches = 0
 
     # ------------------------------------------------------------------ #
     # Message dispatch.
@@ -168,6 +257,12 @@ class ShardExecutionNode(ExecutionNode):
             self.handle_range_handoff(sender, message)
         elif isinstance(message, RangeFetch):
             self.handle_range_fetch(sender, message)
+        elif isinstance(message, CrossShardSubReply):
+            self.handle_cross_shard_sub_reply(sender, message)
+        elif isinstance(message, CrossShardVote):
+            self.handle_cross_shard_vote(sender, message)
+        elif isinstance(message, CrossShardVoteFetch):
+            self.handle_cross_shard_vote_fetch(sender, message)
         else:
             super().on_message(sender, message)
 
@@ -250,36 +345,65 @@ class ShardExecutionNode(ExecutionNode):
         return peer_votes >= self.config.g + 1
 
     def _localize(self, message: ShardedBatch) -> Optional[ShardLocalBatch]:
-        """Build this shard's view of the envelope (None if nothing is owned)."""
+        """Build this shard's view of the envelope (None if nothing is owned).
+
+        The three batch kinds differ only in the owned subset: an epoch-cut
+        marker owns no client requests (the cut semantics execute at its
+        shard-local slot), a cross-shard marker travels whole (each touched
+        cluster re-derives its owned key subset at execution), and an
+        ordinary batch owns the requests this node's router maps here.
+        """
         batch = message.batch
         if map_change_of(batch.request_certificates) is not None:
-            # Epoch-cut marker: addressed to every cluster, owns no client
-            # requests; the cut semantics execute at its shard-local slot.
-            return ShardLocalBatch(
-                shard=self.shard, seq=message.shard_seq, global_seq=batch.seq,
-                view=batch.view, request_certificates=(),
-                full_request_certificates=batch.request_certificates,
-                agreement_certificate=batch.agreement_certificate,
-                nondet=batch.nondet, epoch=message.epoch)
-        owned = self._owned_requests(batch.request_certificates, message.epoch)
-        if not owned:
-            return None
+            owned: Tuple = ()
+        elif self._cross_touched(batch.request_certificates,
+                                 message.epoch) is not None:
+            owned = batch.request_certificates
+        else:
+            owned = self._owned_requests(batch.request_certificates,
+                                         message.epoch)
+            if not owned:
+                return None
         return ShardLocalBatch(
             shard=self.shard, seq=message.shard_seq, global_seq=batch.seq,
             view=batch.view, request_certificates=owned,
             full_request_certificates=batch.request_certificates,
-            agreement_certificate=batch.agreement_certificate, nondet=batch.nondet,
-            epoch=message.epoch)
+            agreement_certificate=batch.agreement_certificate,
+            nondet=batch.nondet, epoch=message.epoch)
+
+    def _cross_touched(self, certificates: Tuple,
+                       epoch: int) -> Optional[List[int]]:
+        """The shards a cross-shard marker batch touches, if the batch is
+        one *this* cluster participates in (None otherwise: not a marker,
+        cross-shard disabled, an unknown epoch, or a marker addressed to a
+        cluster that owns none of its keys -- a misroute)."""
+        if not self.config.cross_shard.enabled:
+            return None
+        request = cross_shard_request_of(certificates)
+        if request is None:
+            return None
+        try:
+            touched = self.router.shards_of_operation_keys(request.operation,
+                                                           epoch)
+        except KeyError:
+            return None
+        if len(touched) < 2 or self.shard not in touched:
+            return None
+        return touched
 
     def _owned_requests(self, certificates: Tuple, epoch: int) -> Tuple:
         """The subset of a batch's request certificates this shard owns at
         ``epoch`` (empty when the epoch is unknown -- a forged future epoch
-        cannot be judged, so nothing is owned under it)."""
+        cannot be judged, so nothing is owned under it).  A cross-shard
+        request inside a mixed batch is owned by nobody: markers travel
+        alone, so only a Byzantine sender builds such a batch."""
         try:
             return tuple(
                 cert for cert in certificates
                 if isinstance(cert.payload, ClientRequest)
                 and self.router.shard_of_request(cert.payload, epoch) == self.shard
+                and not (self.config.cross_shard.enabled
+                         and self.router.is_cross_shard(cert.payload, epoch))
             )
         except KeyError:
             return ()
@@ -315,6 +439,20 @@ class ShardExecutionNode(ExecutionNode):
             # whole authority (2f + 1 commits bind the change through the
             # batch digest); it owns no client requests by construction.
             return batch.request_certificates == ()
+        touched = self._cross_touched(batch.full_request_certificates,
+                                      batch.epoch)
+        if touched is not None:
+            # Cross-shard marker: the single certificate is the client's
+            # own request, verified like any other; ownership is the
+            # touched-set membership this node's router derives itself.
+            if batch.request_certificates != batch.full_request_certificates:
+                self.misroutes += 1
+                return False
+            request = batch.request_certificates[0].payload
+            if request.client not in self.client_ids:
+                return False
+            return self.crypto.verify_certificate(
+                batch.request_certificates[0], 1, [request.client])
         # Fast path (perf.shard_verify_owned_only): client authenticators are
         # verified only for the requests this shard owns.  The agreement
         # certificate just checked above carries 2f + 1 commits, so at least
@@ -354,10 +492,12 @@ class ShardExecutionNode(ExecutionNode):
     # ------------------------------------------------------------------ #
 
     def _ready_to_execute(self, batch) -> bool:
-        """Execution past an epoch cut waits for the cut's inbound ranges:
-        the next batch may read keys whose state is still in flight from
-        the losing cluster."""
-        return not self._awaiting_ranges
+        """Execution past an epoch cut waits for the cut's inbound ranges,
+        and execution past a cross-shard transaction marker waits for the
+        peer shards' votes: the next batch may read keys whose state is
+        still in flight from the losing cluster, or that the blocked
+        transaction is about to write."""
+        return not self._awaiting_ranges and self._awaiting_txn is None
 
     def _execute_batch(self, batch) -> None:
         if isinstance(batch, ShardLocalBatch):
@@ -376,6 +516,11 @@ class ShardExecutionNode(ExecutionNode):
                 self._route_accepted.pop(batch.seq, None)
                 self._route_votes.pop(batch.seq, None)
                 self._request_missing(batch.seq)
+                return
+            touched = self._cross_touched(batch.full_request_certificates,
+                                          batch.epoch)
+            if touched is not None:
+                self._execute_cross_shard(batch, touched)
                 return
         super()._execute_batch(batch)
 
@@ -423,6 +568,422 @@ class ShardExecutionNode(ExecutionNode):
                 self._take_checkpoint(local.seq)
         if self._awaiting_ranges:
             self._arm_range_fetch()
+
+    # ------------------------------------------------------------------ #
+    # Cross-shard operations at the consistent cut.
+    # ------------------------------------------------------------------ #
+
+    def _key_owned(self, key: str) -> bool:
+        return self.router.partitioner.shard_of_key(key, self.epoch) == self.shard
+
+    def _finish_marker_slot(self, local: ShardLocalBatch) -> None:
+        """Slot bookkeeping for a cross-shard marker (mirrors the map-change
+        marker's tail): the slot is answered with an empty reply bundle --
+        the pipeline settles normally, the client's answer travels on the
+        sub-reply path -- and a checkpoint falling on a blocked transaction
+        defers until the commit decision resolves, so a checkpoint digest
+        is always a pure function of the agreed history."""
+        self.max_executed = local.seq
+        self.batches_executed += 1
+        body = self._make_reply_body(local.view, local.seq, ())
+        self.replies_by_seq[local.seq] = self._send_reply(body)
+        self._trim_reply_cache()
+        if local.seq % self.config.checkpoint_interval == 0:
+            if self._awaiting_ranges or self._awaiting_txn is not None:
+                self._deferred_checkpoint = local.seq
+            else:
+                self._take_checkpoint(local.seq)
+
+    def _execute_cross_shard(self, local: ShardLocalBatch,
+                             touched: List[int]) -> None:
+        """Execute this cluster's sub-operation of a cross-shard marker.
+
+        Runs at the marker's slot in the shard-local order, so local state
+        is exactly the agreed global prefix below the marker restricted to
+        this shard -- the consistent cut.  Snapshot reads answer from it
+        directly; a write transaction first exchanges certified read-set
+        observations with the peer shards so that every correct replica of
+        every touched cluster computes the same commit/abort decision.
+        """
+        certificate = local.request_certificates[0]
+        request: ClientRequest = certificate.payload
+        operation = request.operation_for(Role.EXECUTION)
+        last = self.reply_table.get(request.client)
+        if last is not None and request.timestamp <= last.timestamp:
+            # A re-ordered duplicate (the client retransmitted after losing
+            # the assembled reply): consume the slot and re-serve the cached
+            # sub-reply and collation instead of re-executing -- this resend
+            # path is also how a crashed collator's duty falls over to the
+            # surviving touched clusters.
+            self.duplicate_requests += 1
+            self._finish_marker_slot(local)
+            self._resend_cross_shard(request.client, request.timestamp)
+            return
+        self.cross_shard_executed += 1
+        pinned = operation.args.get("epoch")
+        if pinned is not None and pinned != self.epoch:
+            # The pinned epoch went stale under the operation (a rebalance
+            # cut raced the marker).  Every touched replica judges the same
+            # (pinned, cut-epoch) pair, so the abort is deterministic; the
+            # sub-reply's epoch tells the client what to retry on.
+            self.cross_shard_epoch_aborts += 1
+            self._complete_cross_shard(local, request, touched,
+                                       status="epoch-retry", values={})
+            self._finish_marker_slot(local)
+            return
+        if operation.kind == "multi_get":
+            mine = [key for key in operation.args.get("keys", ())
+                    if self._key_owned(key)]
+            values = self.app.snapshot_read(mine)
+            self._complete_cross_shard(local, request, touched, "ok", values)
+            self._finish_marker_slot(local)
+            return
+        if operation.kind == "txn":
+            reads = dict(operation.args.get("reads", {}))
+            writes = dict(operation.args.get("writes", {}))
+            observed = self.app.snapshot_read(
+                [key for key in reads if self._key_owned(key)])
+            if not reads:
+                # Write-only transaction: the commit decision is vacuous on
+                # every shard, so no vote round -- each cluster applies its
+                # slice at the marker and the cut makes it atomic.
+                self.app.apply_writes({key: value for key, value in writes.items()
+                                       if self._key_owned(key)})
+                self.cross_shard_commits += 1
+                self._complete_cross_shard(local, request, touched,
+                                           "committed", {})
+                self._finish_marker_slot(local)
+                return
+            self._send_vote(request, observed, touched)
+            self._awaiting_txn = _PendingTxn(request=request, local=local,
+                                             touched=list(touched),
+                                             reads=reads, writes=writes,
+                                             observed=observed)
+            self._finish_marker_slot(local)
+            self._arm_vote_fetch()
+            self._try_resolve_txn()
+            return
+        # An unknown multi-key kind cannot be executed consistently.
+        self._complete_cross_shard(local, request, touched, "error", {})
+        self._finish_marker_slot(local)
+
+    def _complete_cross_shard(self, local: ShardLocalBatch,
+                              request: ClientRequest, touched: List[int],
+                              status: str, values: Dict[str, Any]) -> None:
+        """Emit this shard's certified sub-reply fragment.
+
+        The fragment body is sender-agnostic, so ``g + 1`` matching partials
+        from this cluster certify it; partials go to *every* touched
+        cluster's replicas (each assembles the full collation) and the
+        exactly-once reply-table entry makes duplicates replay the cached
+        fragment instead of re-executing -- including across range handoffs,
+        which migrate the table.
+        """
+        body = SubReplyBody(client=request.client, timestamp=request.timestamp,
+                            shard=self.shard, epoch=self.epoch,
+                            view=local.view, op_seq=local.global_seq,
+                            status=status, values=values)
+        self.reply_table[request.client] = ReplyBody(
+            view=local.view, seq=local.seq, timestamp=request.timestamp,
+            client=request.client,
+            result=OperationResult(value={"cross-shard": status}, size=8))
+        verifiers = [node for shard in touched
+                     for node in self.shard_execution_ids[shard]]
+        verifiers.append(request.client)
+        certificate = Certificate(payload=body, scheme=AuthenticationScheme.MAC)
+        certificate.add(self.crypto.mac_authenticator(body, verifiers))
+        message = CrossShardSubReply(body=body, certificate=certificate,
+                                     sender=self.node_id)
+        self._xs_sub_replies[request.client] = message
+        collation = self._collation_for(request.client, request.timestamp)
+        collation.touched = list(touched)
+        # Older operations of this client are retired (it runs one at a
+        # time); higher-timestamped tentative slots stay within their cap.
+        self._xs_collations = {
+            stored_key: stored for stored_key, stored
+            in self._xs_collations.items()
+            if stored_key[0] != request.client
+            or stored_key[1] >= request.timestamp
+        }
+        targets = [node for shard in touched
+                   for node in self.shard_execution_ids[shard]
+                   if node != self.node_id]
+        self.multicast(targets, message)
+        self.handle_cross_shard_sub_reply(self.node_id, message)
+        # A slow executor may find every fragment (its own shard's
+        # included) already certified from peers' partials; the touched set
+        # only became known here, so the assembly must be retried now.
+        self._try_collate(request.client, collation)
+
+    def _resend_cross_shard(self, client: NodeId, timestamp: int) -> None:
+        """Re-serve the cached sub-reply (to the touched clusters) and, if
+        this cluster holds the complete collation, the assembled reply (to
+        the client) -- any surviving touched cluster answers a retrying
+        client, collator or not."""
+        sub = self._xs_sub_replies.get(client)
+        collation = self._xs_collations.get((client, timestamp))
+        if sub is not None and sub.body.timestamp == timestamp:
+            touched = (collation.touched
+                       if collation is not None and collation.touched else
+                       range(len(self.shard_execution_ids)))
+            targets = [node for shard in touched
+                       for node in self.shard_execution_ids[shard]
+                       if node != self.node_id]
+            self.multicast(targets, sub)
+        if (collation is not None and collation.timestamp == timestamp
+                and collation.reply is not None):
+            self.send(client, collation.reply)
+            self.cross_shard_replies_sent += 1
+
+    # ------------------------------------------------------------------ #
+    # Cross-shard transactions: the read-set vote round.
+    # ------------------------------------------------------------------ #
+
+    def _txn_key(self, request: ClientRequest) -> TxnKey:
+        return (request.client, request.timestamp, self.epoch)
+
+    def _send_vote(self, request: ClientRequest, observed: Dict[str, Any],
+                   touched: List[int]) -> None:
+        peers = [node for shard in touched if shard != self.shard
+                 for node in self.shard_execution_ids[shard]]
+        vote = CrossShardVote(
+            client=request.client, timestamp=request.timestamp,
+            shard=self.shard, epoch=self.epoch, observed=observed,
+            replica=self.node_id,
+            authenticator=self.crypto.mac_authenticator(
+                vote_payload(request.client, request.timestamp, self.shard,
+                             self.epoch, observed), peers))
+        key = self._txn_key(request)
+        self._xs_outbound_votes[key] = vote
+        while len(self._xs_outbound_votes) > _VOTE_RETENTION:
+            self._xs_outbound_votes.pop(next(iter(self._xs_outbound_votes)))
+        self.multicast(peers, vote)
+
+    def handle_cross_shard_vote(self, sender: NodeId,
+                                message: CrossShardVote) -> None:
+        if sender != message.replica or message.shard == self.shard:
+            return
+        if not 0 <= message.shard < len(self.shard_execution_ids):
+            return
+        if sender not in self.shard_execution_ids[message.shard]:
+            return
+        if message.client not in self.client_ids:
+            return
+        if message.authenticator is None or not self.crypto.verify_mac(
+                vote_payload(message.client, message.timestamp, message.shard,
+                             message.epoch, message.observed),
+                message.authenticator):
+            return
+        last = self.reply_table.get(message.client)
+        if last is not None and message.timestamp <= last.timestamp:
+            return  # the transaction already resolved here
+        if not (self.epoch - _HANDOFF_RETENTION_EPOCHS <= message.epoch
+                <= self.epoch + _HANDOFF_RETENTION_EPOCHS):
+            return
+        key: TxnKey = (message.client, message.timestamp, message.epoch)
+        awaited = (self._awaiting_txn is not None
+                   and self._txn_key(self._awaiting_txn.request) == key)
+        if (not awaited and key not in self._xs_votes
+                and len(self._xs_votes) >= _VOTE_BUFFER_CAP):
+            return  # pre-arrival buffer full; the vote fetch recovers
+        digest = self.crypto.digest(
+            vote_payload(message.client, message.timestamp, message.shard,
+                         message.epoch, message.observed))
+        tallies = self._xs_votes.setdefault(key, {}).setdefault(
+            message.shard, {})
+        previous = tallies.get(sender)
+        tallies[sender] = digest
+        if (previous is not None and previous != digest
+                and previous not in tallies.values()):
+            # One tally per sender: an equivocating voter varying its
+            # observations must not leave one orphaned data blob per try.
+            self._xs_vote_data.pop((key, message.shard, previous), None)
+        self._xs_vote_data[(key, message.shard, digest)] = dict(message.observed)
+        self._try_resolve_txn()
+
+    def _certified_fragment(self, key: TxnKey,
+                            shard: int) -> Optional[Dict[str, Any]]:
+        """``shard``'s read-set observations, once ``g + 1`` of its replicas
+        sent matching votes."""
+        tallies = self._xs_votes.get(key, {}).get(shard, {})
+        for digest in set(tallies.values()):
+            support = sum(1 for seen in tallies.values() if seen == digest)
+            if (support >= self.config.reply_quorum
+                    and (key, shard, digest) in self._xs_vote_data):
+                return self._xs_vote_data[(key, shard, digest)]
+        return None
+
+    def _try_resolve_txn(self) -> None:
+        """Resolve the blocked transaction once every peer shard's read-set
+        observations are certified.
+
+        The commit decision -- every read key's certified observation equals
+        its expected value -- is a pure function of the agreed cut state,
+        evaluated identically by every correct replica of every touched
+        shard: aborts are deterministic and atomic by construction.
+        """
+        pending = self._awaiting_txn
+        if pending is None:
+            return
+        key = self._txn_key(pending.request)
+        observed_all = dict(pending.observed)
+        for shard in pending.touched:
+            if shard == self.shard:
+                continue
+            fragment = self._certified_fragment(key, shard)
+            if fragment is None:
+                return  # still waiting
+            observed_all.update(fragment)
+        commit = all(observed_all.get(read_key) == expected
+                     for read_key, expected in pending.reads.items())
+        if commit:
+            self.app.apply_writes({write_key: value
+                                   for write_key, value in pending.writes.items()
+                                   if self._key_owned(write_key)})
+            self.cross_shard_commits += 1
+        else:
+            self.cross_shard_aborts += 1
+        self._awaiting_txn = None
+        self._xs_votes.pop(key, None)
+        self._xs_vote_data = {
+            stored: data for stored, data in self._xs_vote_data.items()
+            if stored[0] != key
+        }
+        self._complete_cross_shard(pending.local, pending.request,
+                                   pending.touched,
+                                   "committed" if commit else "aborted",
+                                   pending.observed)
+        if self._deferred_checkpoint is not None and not self._awaiting_ranges:
+            seq = self._deferred_checkpoint
+            self._deferred_checkpoint = None
+            self._take_checkpoint(seq)
+        self._process_pending()
+
+    def _arm_vote_fetch(self) -> None:
+        self.set_timer(self.config.timers.execution_fetch_ms,
+                       self._on_vote_fetch_timeout,
+                       label=f"{self.node_id}:vote-fetch")
+
+    def _on_vote_fetch_timeout(self) -> None:
+        pending = self._awaiting_txn
+        if pending is None:
+            return
+        key = self._txn_key(pending.request)
+        for shard in pending.touched:
+            if shard == self.shard or self._certified_fragment(key, shard):
+                continue
+            self.vote_fetches += 1
+            self.multicast(self.shard_execution_ids[shard],
+                           CrossShardVoteFetch(client=pending.request.client,
+                                               timestamp=pending.request.timestamp,
+                                               epoch=self.epoch,
+                                               shard=self.shard,
+                                               replica=self.node_id))
+        self._arm_vote_fetch()
+
+    def handle_cross_shard_vote_fetch(self, sender: NodeId,
+                                      message: CrossShardVoteFetch) -> None:
+        """Re-serve a stored vote to a blocked replica that missed it."""
+        if sender != message.replica:
+            return
+        if not any(sender in ids for ids in self.shard_execution_ids):
+            return
+        stored = self._xs_outbound_votes.get(
+            (message.client, message.timestamp, message.epoch))
+        if stored is not None:
+            self.send(sender, stored)
+
+    # ------------------------------------------------------------------ #
+    # Cross-shard sub-reply collation.
+    # ------------------------------------------------------------------ #
+
+    def _collation_for(self, client: NodeId, timestamp: int) -> _Collation:
+        key = (client, timestamp)
+        collation = self._xs_collations.get(key)
+        if collation is None:
+            collation = _Collation(timestamp=timestamp)
+            self._xs_collations[key] = collation
+        return collation
+
+    def handle_cross_shard_sub_reply(self, sender: NodeId,
+                                     message: CrossShardSubReply) -> None:
+        body = message.body
+        if sender != message.sender:
+            return
+        if not 0 <= body.shard < len(self.shard_execution_ids):
+            return
+        if sender not in self.shard_execution_ids[body.shard]:
+            return
+        if body.client not in self.client_ids:
+            return
+        last = self.reply_table.get(body.client)
+        if last is not None and body.timestamp < last.timestamp:
+            return  # stale fragment of an operation this client moved past
+        collation = self._xs_collations.get((body.client, body.timestamp))
+        if collation is None:
+            # A tentative slot (own marker not executed yet): bounded, and
+            # refusing at the cap is recoverable -- a duplicate marker
+            # makes every touched replica re-serve its fragment.
+            tentative = sum(1 for stored in self._xs_collations.values()
+                            if stored.touched is None)
+            if tentative >= _COLLATION_BUFFER_CAP:
+                return
+            collation = self._collation_for(body.client, body.timestamp)
+        if body.shard in collation.full:
+            # Already certified (and possibly embedded in a sent reply):
+            # never merge into an assembled certificate again.
+            return
+        digest = self.crypto.payload_digest(body)
+        collector_key = (body.shard, digest)
+        collector = collation.collectors.get(collector_key)
+        if collector is None:
+            if len(collation.collectors) >= _COLLECTOR_CAP:
+                return
+            collector = Certificate(payload=body,
+                                    scheme=message.certificate.scheme)
+            collation.collectors[collector_key] = collector
+        collector.merge(message.certificate)
+        valid = self.crypto.valid_signers(collector,
+                                          self.shard_execution_ids[body.shard])
+        if len(valid) < self.config.reply_quorum:
+            return
+        collation.full[body.shard] = collector
+        collation.full_bodies[body.shard] = body
+        collation.collectors = {
+            stored: cert for stored, cert in collation.collectors.items()
+            if stored[0] != body.shard
+        }
+        self._try_collate(body.client, collation)
+
+    def _try_collate(self, client: NodeId, collation: _Collation) -> None:
+        """Assemble the client reply once every touched shard is certified.
+
+        Every touched cluster assembles (the certified fragments reach them
+        all); only the deterministic collator -- the lowest touched shard --
+        sends unprompted.  The others hold the assembled reply and serve it
+        on a duplicate marker, which is the crashed-collator fallover.
+        """
+        if collation.touched is None or collation.reply is not None:
+            return
+        if any(shard not in collation.full for shard in collation.touched):
+            return
+        bodies = [collation.full_bodies[shard] for shard in collation.touched]
+        first = bodies[0]
+        if any(body.status != first.status or body.epoch != first.epoch
+               or body.op_seq != first.op_seq for body in bodies):
+            return  # mixed rounds; the marker resend converges them
+        assembled: Dict[str, Any] = {}
+        for body in bodies:
+            assembled.update(body.values)
+        collation.reply = CrossShardReply(
+            client=client, timestamp=collation.timestamp, status=first.status,
+            epoch=first.epoch, collator_shard=min(collation.touched),
+            sub_certificates=tuple(collation.full[shard]
+                                   for shard in collation.touched),
+            assembled=assembled, sender=self.node_id)
+        if self.shard == min(collation.touched):
+            self.send(client, collation.reply)
+            self.cross_shard_replies_sent += 1
 
     # ------------------------------------------------------------------ #
     # Range handoff: losing side.
@@ -594,6 +1155,18 @@ class ShardExecutionNode(ExecutionNode):
     # map, not just the right application state).
     # ------------------------------------------------------------------ #
 
+    def _resend_replies(self, batch) -> None:
+        """Also re-serve cross-shard artifacts on a genuine retransmission:
+        the retrying client is waiting for the assembled reply, not the
+        (empty) marker-slot bundle."""
+        super()._resend_replies(batch)
+        certificates = getattr(batch, "full_request_certificates",
+                               batch.request_certificates)
+        if self.config.cross_shard.enabled:
+            request = cross_shard_request_of(certificates)
+            if request is not None:
+                self._resend_cross_shard(request.client, request.timestamp)
+
     def _checkpoint_extra(self) -> bytes:
         return json.dumps({"epoch": self.epoch}, sort_keys=True).encode()
 
@@ -609,6 +1182,10 @@ class ShardExecutionNode(ExecutionNode):
         self._awaiting_ranges.clear()
         self._deferred_checkpoint = None
         self._prune_handoff_buffers()
+        # Likewise, checkpoints defer while a cross-shard transaction is
+        # blocked, so the restored state already carries its outcome (and
+        # the restored reply table carries its exactly-once fragment).
+        self._awaiting_txn = None
 
     # ------------------------------------------------------------------ #
     # Replies carry the shard id and epoch; vote tables are garbage
@@ -622,6 +1199,7 @@ class ShardExecutionNode(ExecutionNode):
 
     def _trim_recent(self) -> None:
         super()._trim_recent()
+        self._trim_cross_shard()
         horizon = self.max_executed - 2 * self.config.checkpoint_interval
         if horizon <= 0:
             return
@@ -631,4 +1209,24 @@ class ShardExecutionNode(ExecutionNode):
         self._route_accepted = {
             seq: binding for seq, binding in self._route_accepted.items()
             if seq > horizon
+        }
+
+    def _trim_cross_shard(self) -> None:
+        """Drop vote tallies and collations for operations already resolved
+        here (the reply table records the resolution; late duplicates
+        replay it)."""
+        def live(key) -> bool:
+            last = self.reply_table.get(key[0])
+            return last is None or key[1] > last.timestamp
+
+        self._xs_votes = {
+            key: tallies for key, tallies in self._xs_votes.items() if live(key)
+        }
+        self._xs_vote_data = {
+            stored: data for stored, data in self._xs_vote_data.items()
+            if live(stored[0])
+        }
+        self._xs_collations = {
+            key: collation for key, collation in self._xs_collations.items()
+            if live(key) or key[1] == self.reply_table[key[0]].timestamp
         }

@@ -26,6 +26,21 @@ the epoch cut.  :class:`RangeHandoff` / :class:`RangeFetch` implement the
 live state handoff of a moved key range between execution clusters,
 mirroring the checkpoint-share pattern: ``g + 1`` matching handoff shares
 from the source cluster certify the moved state.
+
+**Cross-shard operations.**  A multi-shard operation (snapshot read, write
+transaction) is ordered as a single-certificate *marker* batch -- reusing
+the config-operation ordering discipline, but the certificate is the
+client's own request -- and its sequence number is a consistent cut.  The
+messages here carry the execution side of that protocol:
+:class:`SubReplyBody` is one shard's certified fragment of the result
+(``g + 1`` matching authenticators from that shard's replicas make it a
+sub-certificate), :class:`CrossShardSubReply` transports one replica's
+partial towards the touched clusters, :class:`CrossShardVote` /
+:class:`CrossShardVoteFetch` exchange read-set observations so every
+touched cluster reaches the same commit/abort decision for a transaction,
+and :class:`CrossShardReply` is the collator cluster's assembled reply --
+the per-shard sub-certificates it carries are what the client actually
+trusts, so an equivocating collator can misreport nothing.
 """
 
 from __future__ import annotations
@@ -35,6 +50,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from ..crypto.certificate import Authenticator, Certificate
 from ..messages.agreement import AgreementCertBody, ConfigOperation, OrderedBatch
+from ..messages.request import ClientRequest, EncryptedBody
 from ..net.message import Message
 from ..statemachine.nondet import NonDetInput
 from ..util.ids import NodeId
@@ -98,6 +114,28 @@ def map_change_of(certificates: Tuple[Certificate, ...]) -> Optional[MapChange]:
     if len(certificates) == 1 and isinstance(certificates[0].payload, MapChange):
         return certificates[0].payload
     return None
+
+
+def cross_shard_request_of(
+        certificates: Tuple[Certificate, ...]) -> Optional[ClientRequest]:
+    """The client request of a *candidate* cross-shard marker batch.
+
+    Structural test only: a marker batch carries exactly one certificate
+    whose payload is a plain (unencrypted) :class:`ClientRequest` -- the
+    same single-certificate shape as a config operation, except the
+    certificate is the client's own.  Whether the request's keys actually
+    span shards is judged by the caller with its router at the governing
+    epoch; a multi-key operation whose keys all live on one shard routes
+    like any other request.
+    """
+    if len(certificates) != 1:
+        return None
+    request = certificates[0].payload
+    if not isinstance(request, ClientRequest):
+        return None
+    if isinstance(request.operation, EncryptedBody):
+        return None
+    return request
 
 
 @dataclass(frozen=True)
@@ -236,6 +274,180 @@ class RangeHandoff(Message):
     @property
     def padding_bytes(self) -> int:  # type: ignore[override]
         return len(self.entries) + len(self.reply_table)
+
+
+@dataclass(frozen=True, slots=True)
+class SubReplyBody(Message):
+    """One shard's fragment of a cross-shard operation's result.
+
+    Produced identically by every correct replica of ``shard`` when the
+    marker executes at its slot in the shard-local order, so ``g + 1``
+    matching authenticators certify the fragment.  The body is
+    sender-agnostic (like checkpoint and handoff payloads): all of a
+    shard's replicas authenticate the same bytes.
+
+    ``op_seq`` is the agreement sequence number of the marker -- the
+    consistent cut the fragment was read at; ``status`` is ``"ok"``
+    (snapshot read), ``"committed"`` / ``"aborted"`` (transaction), or
+    ``"epoch-retry"`` (the operation's pinned epoch went stale under a
+    rebalance cut; ``epoch`` then carries the epoch the client should
+    retry on).  ``values`` holds the shard's owned read results.
+    """
+
+    client: NodeId
+    timestamp: int
+    shard: int
+    epoch: int
+    view: int
+    op_seq: int
+    status: str
+    values: Dict[str, Any]
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "xs-reply": self.status,
+            "c": self.client.name,
+            "t": self.timestamp,
+            "shard": self.shard,
+            "epoch": self.epoch,
+            "v": self.view,
+            "n": self.op_seq,
+            "values": {key: self.values[key] for key in sorted(self.values)},
+        }
+
+
+@dataclass(frozen=True)
+class CrossShardSubReply(Message):
+    """One replica's partial sub-certificate over a :class:`SubReplyBody`.
+
+    Multicast to every touched cluster's replicas (each of which assembles
+    ``g + 1`` matching partials per shard into a full sub-certificate) so
+    that any touched cluster can stand in for a crashed collator when the
+    client retransmits.
+    """
+
+    body: SubReplyBody
+    certificate: Certificate
+    sender: NodeId
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "body": self.body.to_wire(),
+            "certificate": self.certificate.to_wire(),
+            "sender": self.sender.name,
+        }
+
+
+def vote_payload(client: NodeId, timestamp: int, shard: int, epoch: int,
+                 observed: Dict[str, Any]) -> Dict[str, Any]:
+    """The canonical payload a cross-shard vote authenticator covers.
+
+    Sender-agnostic, so ``g + 1`` matching votes from one shard's replicas
+    certify that shard's read-set observations at the cut.
+    """
+    return {
+        "xs-vote": shard,
+        "c": client.name,
+        "t": timestamp,
+        "epoch": epoch,
+        "observed": {key: observed[key] for key in sorted(observed)},
+    }
+
+
+@dataclass(frozen=True)
+class CrossShardVote(Message):
+    """One replica's read-set observations for a cross-shard transaction.
+
+    Each touched cluster observes, at its own marker slot, the current
+    values of the transaction's read-set keys it owns, and multicasts them
+    to the other touched clusters.  A receiving replica accepts a shard's
+    observations only with ``g + 1`` matching votes from that shard's
+    replicas; once every peer shard's observations are certified, the
+    commit decision (``observed == expected`` for every read key) is a pure
+    function of certified data -- identical on every correct replica of
+    every touched shard, which is what makes cross-shard aborts
+    deterministic.
+    """
+
+    client: NodeId
+    timestamp: int
+    shard: int
+    epoch: int
+    observed: Dict[str, Any]
+    replica: NodeId
+    authenticator: Optional["Authenticator"] = None
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "xs-vote": self.shard,
+            "c": self.client.name,
+            "t": self.timestamp,
+            "epoch": self.epoch,
+            "observed": {key: self.observed[key]
+                         for key in sorted(self.observed)},
+            "i": self.replica.name,
+        }
+
+
+@dataclass(frozen=True)
+class CrossShardVoteFetch(Message):
+    """Request to re-send a cross-shard vote (recovery after message loss).
+
+    A replica blocked at a transaction marker re-asks the touched clusters
+    it is missing votes from; peers keep recent outbound votes and re-serve
+    them, so a blocked replica is self-driving rather than waiting for
+    operator intervention (mirrors :class:`RangeFetch`).
+    """
+
+    client: NodeId
+    timestamp: int
+    epoch: int
+    shard: int
+    replica: NodeId
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "xs-vote-fetch": self.shard,
+            "c": self.client.name,
+            "t": self.timestamp,
+            "epoch": self.epoch,
+            "i": self.replica.name,
+        }
+
+
+@dataclass(frozen=True)
+class CrossShardReply(Message):
+    """The collator cluster's assembled reply for a cross-shard operation.
+
+    ``sub_certificates`` holds one full (``g + 1``-signer) certificate per
+    touched shard over that shard's :class:`SubReplyBody`; ``assembled`` is
+    the collator's merged result summary.  The client trusts only the
+    sub-certificates: it re-derives the result from the certified fragments
+    and rejects a reply whose summary disagrees (a Byzantine collator can
+    therefore delay an answer, never forge one).
+    """
+
+    client: NodeId
+    timestamp: int
+    status: str
+    epoch: int
+    collator_shard: int
+    sub_certificates: Tuple[Certificate, ...]
+    assembled: Dict[str, Any]
+    sender: NodeId
+
+    def payload_fields(self) -> Dict[str, Any]:
+        return {
+            "xs-assembled": self.status,
+            "c": self.client.name,
+            "t": self.timestamp,
+            "epoch": self.epoch,
+            "collator": self.collator_shard,
+            "subs": [cert.to_wire() for cert in self.sub_certificates],
+            "assembled": {key: self.assembled[key]
+                          for key in sorted(self.assembled)},
+            "sender": self.sender.name,
+        }
 
 
 @dataclass(frozen=True)

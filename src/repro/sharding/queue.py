@@ -64,7 +64,7 @@ from ..messages.request import ClientRequest
 from ..sim.process import Process
 from ..statemachine.nondet import NonDetInput
 from ..util.ids import NodeId
-from .messages import ShardedBatch, map_change_of
+from .messages import ShardedBatch, cross_shard_request_of, map_change_of
 from .rebalance import ShardLoadWindow, apply_map_change
 from .router import ShardRouter
 
@@ -119,6 +119,7 @@ class ShardRouterQueue(MessageQueue):
         self.misrouted_replies = 0
         self.epoch_cuts = 0
         self.map_changes_rejected = 0
+        self.cross_shard_markers = 0
 
     # ------------------------------------------------------------------ #
     # LocalExecutor interface: routing agreed batches.
@@ -171,10 +172,44 @@ class ShardRouterQueue(MessageQueue):
             # just bump their epoch and reply).  The envelope is stamped
             # with the epoch the marker *closes*.
             shards = list(range(self.num_shards))
-        else:
-            shards = self.router.shards_of_certificates(
-                batch.request_certificates, epoch=self.epoch)
+        elif (cross := self._cross_shard_marker_of(batch)) is not None:
+            # A cross-shard marker is routed to every cluster its keys
+            # touch *at the release epoch* -- the release frontier has
+            # already fed each of those shards every earlier batch of the
+            # agreed order, so the marker's slot in each shard's local
+            # sequence is a consistent cut over the global prefix.  The
+            # routing epoch rides in the vouched binding like any other
+            # batch; the operation's own *pinned* epoch is judged against
+            # it at execution, where a mismatch aborts deterministically.
+            shards = self.router.shards_of_operation_keys(cross.operation,
+                                                          epoch=self.epoch)
+            self.cross_shard_markers += 1
             self._note_load(batch)
+        else:
+            certificates = batch.request_certificates
+            if self.config.cross_shard.enabled and len(certificates) > 1:
+                # A cross-shard request smuggled into a mixed bundle (only
+                # a faulty primary builds one -- honest primaries order
+                # markers alone) is excluded from routing at the release
+                # epoch, the same epoch execution replicas judge ownership
+                # at: no shard ever executes it against partial state, and
+                # the client's retransmission re-orders it as a marker.
+                certificates = tuple(
+                    certificate for certificate in certificates
+                    if not (isinstance(certificate.payload, ClientRequest)
+                            and self.router.is_cross_shard(certificate.payload,
+                                                           epoch=self.epoch)))
+            shards = self.router.shards_of_certificates(certificates,
+                                                        epoch=self.epoch)
+            self._note_load(batch)
+        if not shards:
+            # Every request was excluded: the slot is vacuously answered so
+            # the pipeline accounting never waits on a reply nobody owes.
+            self._answered.add(batch.seq)
+            while (self.highest_reply_seq + 1) in self._answered:
+                self.highest_reply_seq += 1
+                self._answered.discard(self.highest_reply_seq)
+            return
         self._parts_outstanding[batch.seq] = len(shards)
         for shard in shards:
             self._next_shard_seq[shard] += 1
@@ -196,11 +231,37 @@ class ShardRouterQueue(MessageQueue):
         if change is not None:
             self._apply_cut(change)
 
+    def _cross_shard_marker_of(self, batch: OrderedBatch):
+        """The batch's client request if it is a cross-shard marker here.
+
+        Judged at this queue's *release* epoch, so every correct replica
+        classifies identically at the same log position: a multi-key
+        request whose keys collapsed onto one shard (a rebalance merged
+        them between ordering and release) simply routes as a normal batch
+        and executes locally on that shard.
+        """
+        if not self.config.cross_shard.enabled:
+            return None
+        request = cross_shard_request_of(batch.request_certificates)
+        if request is None or not self.router.is_cross_shard(request,
+                                                             epoch=self.epoch):
+            return None
+        return request
+
     def _note_load(self, batch: OrderedBatch) -> None:
         """Count one released batch into the rebalancer's load window."""
         for certificate in batch.request_certificates:
             request = certificate.payload
             if not isinstance(request, ClientRequest):
+                continue
+            keys = self.router.keys_of_operation(request.operation)
+            if keys:
+                # Multi-key operation: every key loads its own cluster.
+                for key in keys:
+                    cluster = self.router.partitioner.shard_of_key(
+                        key, self.epoch)
+                    self.load_window.note(cluster, key)
+                    self.routed_by_shard[cluster] += 1
                 continue
             key = self.router.routing_key(request)
             cluster = self.router.shard_of_request(request, epoch=self.epoch)
@@ -261,6 +322,26 @@ class ShardRouterQueue(MessageQueue):
             self.owner.send(request.client, cached)
             self.cache_hits += 1
             return RetryOutcome.HANDLED
+        if (self.config.cross_shard.enabled
+                and self.router.is_cross_shard(request, epoch=self.epoch)):
+            # A cross-shard marker has one pending part per *touched* shard
+            # and every touched cluster contributes to the answer: resend
+            # them all.  Duplicate markers reaching an execution replica
+            # that already executed make it re-serve its cached sub-reply
+            # (and any assembled reply), which is also how a crashed
+            # collator's duty falls over to the other touched clusters.
+            handled = False
+            for part, pending in self.shard_pending.items():
+                envelope: ShardedBatch = pending.batch
+                for cert in envelope.batch.request_certificates:
+                    pending_request: ClientRequest = cert.payload
+                    if (isinstance(pending_request, ClientRequest)
+                            and pending_request.client == request.client
+                            and pending_request.timestamp == request.timestamp):
+                        self._send_to_shard(part[0], envelope)
+                        self.retransmissions += 1
+                        handled = True
+            return RetryOutcome.HANDLED if handled else RetryOutcome.NEED_ORDER
         # A multi-shard bundle has one pending part per owning shard, each
         # carrying the full request list; resend only to the shard that owns
         # the retransmitted request -- the others cannot regenerate its
@@ -303,6 +384,24 @@ class ShardRouterQueue(MessageQueue):
         """Batches released towards ``shard`` but not yet answered -- the
         per-shard pipeline occupancy the skew-aware admission gate checks."""
         return len(self._unanswered[shard])
+
+    def cross_shard_probe(self):
+        """The agreement replica's cross-shard request probe.
+
+        Maps a client request to the ascending list of shards its keys
+        touch at this queue's live epoch (None for single-shard requests),
+        so the primary orders multi-shard requests as single-certificate
+        marker batches.  Classification at *release* time -- by this very
+        queue -- stays authoritative: if the epoch moves between ordering
+        and release, the release-epoch touched set routes the marker.
+        """
+        def probe(request: ClientRequest):
+            if not self.router.is_cross_shard(request, epoch=self.epoch):
+                return None
+            return self.router.shards_of_operation_keys(request.operation,
+                                                        epoch=self.epoch)
+
+        return probe
 
     def request_classifier(self):
         """The deterministic request -> shard mapping (for the primary's

@@ -26,7 +26,7 @@ system).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from ..messages.request import ClientRequest, EncryptedBody
 from ..statemachine.interface import Operation
@@ -35,8 +35,15 @@ from .partitioner import DEFAULT_SHARD, Partitioner
 #: extracts the routing key from an operation (None = keyless)
 KeyExtractor = Callable[[Operation], Optional[str]]
 
+#: extracts *all* routing keys from a multi-key operation (None = single-key)
+MultiKeyExtractor = Callable[[Operation], Optional[Tuple[str, ...]]]
+
 
 def _no_key(_: Operation) -> Optional[str]:
+    return None
+
+
+def _no_keys(_: Operation) -> Optional[Tuple[str, ...]]:
     return None
 
 
@@ -44,9 +51,12 @@ class ShardRouter:
     """Deterministic (request, epoch) -> shard mapping."""
 
     def __init__(self, partitioner: Partitioner,
-                 key_extractor: Optional[KeyExtractor] = None) -> None:
+                 key_extractor: Optional[KeyExtractor] = None,
+                 multi_key_extractor: Optional[MultiKeyExtractor] = None) -> None:
         self.partitioner = partitioner
         self.key_extractor: KeyExtractor = key_extractor or _no_key
+        self.multi_key_extractor: MultiKeyExtractor = (multi_key_extractor
+                                                       or _no_keys)
 
     @property
     def num_shards(self) -> int:
@@ -94,3 +104,38 @@ class ShardRouter:
         return self.shards_of_requests(
             [certificate.payload for certificate in certificates
              if isinstance(certificate.payload, ClientRequest)], epoch)
+
+    # ------------------------------------------------------------------ #
+    # Multi-key (cross-shard) classification.
+    # ------------------------------------------------------------------ #
+
+    def keys_of_operation(self, operation: Operation) -> Optional[Tuple[str, ...]]:
+        """All routing keys of a multi-key operation (None for single-key
+        operations, encrypted bodies, and keyless operations)."""
+        if isinstance(operation, EncryptedBody):
+            return None
+        return self.multi_key_extractor(operation)
+
+    def shards_of_operation_keys(self, operation: Operation,
+                                 epoch: Optional[int] = None) -> List[int]:
+        """Distinct owning shards of *all* of an operation's keys, ascending.
+
+        Single-key (and keyless) operations degenerate to
+        ``[shard_of_operation(...)]``, so the result always names at least
+        one shard; a length greater than one is exactly the cross-shard
+        condition.  Raises ``KeyError`` for an unknown epoch, like every
+        other epoch-taking lookup.
+        """
+        keys = self.keys_of_operation(operation)
+        if not keys:
+            return [self.shard_of_operation(operation, epoch)]
+        return sorted({self.partitioner.shard_of_key(key, epoch)
+                       for key in keys})
+
+    def is_cross_shard(self, request: ClientRequest,
+                       epoch: Optional[int] = None) -> bool:
+        """Whether a request's keys span more than one shard at ``epoch``."""
+        operation = request.operation
+        if isinstance(operation, EncryptedBody):
+            return False
+        return len(self.shards_of_operation_keys(operation, epoch)) > 1

@@ -97,7 +97,9 @@ class ShardedSystem(SimulatedSystem):
 
         if key_extractor is None:
             key_extractor = getattr(app_factory, "extract_key", None)
-        self.router = ShardRouter(make_partitioner(config.sharding), key_extractor)
+        multi_key_extractor = getattr(app_factory, "extract_keys", None)
+        self.router = ShardRouter(make_partitioner(config.sharding),
+                                  key_extractor, multi_key_extractor)
 
         self.agreement_ids = [agreement_id(i) for i in range(config.num_agreement_nodes)]
         self.shard_execution_ids: List[List[NodeId]] = [
@@ -123,8 +125,13 @@ class ShardedSystem(SimulatedSystem):
         self.network.topology = sharded_topology(
             clients=self.client_ids, agreement=self.agreement_ids,
             shard_execution_ids=self.shard_execution_ids,
-            allow_client_execution=config.direct_execution_reply,
-            cross_shard_links=config.rebalance.enabled)
+            # Cross-shard assembled replies flow execution -> client, so
+            # cross-shard deployments keep the client links even without
+            # the direct-reply optimisation.
+            allow_client_execution=(config.direct_execution_reply
+                                    or config.cross_shard.enabled),
+            cross_shard_links=(config.rebalance.enabled
+                               or config.cross_shard.enabled))
 
         # ---------------- Execution clusters (one per shard). ---------- #
         self.shard_execution_nodes: List[List[ShardExecutionNode]] = []
@@ -168,6 +175,11 @@ class ShardedSystem(SimulatedSystem):
                 # AIMD controllers and per-shard admission windows (the
                 # classifier reads the queue's live partition-map epoch).
                 replica.enable_per_shard_batching(queue.request_classifier())
+            if config.cross_shard.enabled:
+                # Multi-shard requests are ordered as single-certificate
+                # consistent-cut markers (classified at the queue's live
+                # epoch).
+                replica.enable_cross_shard(queue.cross_shard_probe())
             if config.rebalance.enabled:
                 # Every replica hosts a rebalance controller (any of them
                 # may become primary); only the current primary proposes.

@@ -128,3 +128,33 @@ class StateMachine(ABC):
         raise NotImplementedError(
             f"{type(self).__name__} does not support range installation"
         )
+
+    # ------------------------------------------------------------------ #
+    # Multi-key sub-operations (cross-shard operations at a consistent cut).
+    # ------------------------------------------------------------------ #
+
+    def snapshot_read(self, keys) -> Dict[str, Any]:
+        """Read the current values of ``keys`` without mutating state.
+
+        Used by ``repro.sharding`` when a cross-shard operation executes at
+        its marker slot: each touched execution cluster reads the keys it
+        owns against the deterministic frontier state at the cut, so the
+        union of the per-shard fragments is a consistent snapshot of the
+        agreed global prefix.  Must be side-effect free -- the same marker
+        may be re-read when a duplicate resend is served.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support snapshot reads"
+        )
+
+    def apply_writes(self, writes: Dict[str, Any]) -> None:
+        """Apply ``writes`` (key -> value) atomically to local state.
+
+        The commit half of a cross-shard write transaction: every touched
+        cluster calls it with its owned subset only after the deterministic
+        commit decision, so either every shard applies its slice or none
+        does.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support transactional writes"
+        )

@@ -29,8 +29,26 @@ from .skew import (
     zipf_operations,
 )
 from .andrew import AndrewResult, AndrewScale, andrew_phase_operations, run_andrew
+from .crossshard import (
+    AuditResult,
+    CrossShardWindowResult,
+    audit_key,
+    audit_snapshot_consistency,
+    const_key,
+    mixed_cross_shard_operations,
+    run_crossshard_window,
+    seed_operations,
+)
 
 __all__ = [
+    "AuditResult",
+    "CrossShardWindowResult",
+    "audit_key",
+    "audit_snapshot_consistency",
+    "const_key",
+    "mixed_cross_shard_operations",
+    "run_crossshard_window",
+    "seed_operations",
     "SkewWindowResult",
     "equal_range_boundaries",
     "hot_range_operations",
