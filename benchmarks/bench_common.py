@@ -17,17 +17,72 @@ second ``conftest`` module on ``sys.path`` would shadow it.
 
 from __future__ import annotations
 
-from repro.config import CryptoCosts, SystemConfig, TimerConfig
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.analysis.critical_path import format_critical_path_table
+from repro.config import CryptoCosts, ObservabilityConfig, SystemConfig, TimerConfig
 
 #: Timers tuned so saturated-load benchmarks retransmit sparingly.
 BENCH_TIMERS = TimerConfig(client_retransmit_ms=400.0, agreement_retransmit_ms=200.0,
                            execution_fetch_ms=50.0, view_change_ms=1_000.0,
                            batch_timeout_ms=1.0)
 
+# ---------------------------------------------------------------------- #
+# Observability toggle shared by every gated benchmark.
+#
+# The gate benches run with metrics + tracing on by default (observability
+# is strictly passive, so the virtual-time results they gate CI on are
+# bit-identical either way -- check_overhead.py enforces exactly that by
+# re-running a leg with --no-obs and deep-comparing the JSON).  The toggle
+# lives here because bench_skew imports bench_hotpath's workload runner:
+# one process-wide switch keeps every builder consistent.
+# ---------------------------------------------------------------------- #
+
+_OBS_ON = ObservabilityConfig(metrics=True, tracing=True)
+_OBS_OFF = ObservabilityConfig()
+_obs_state = {"enabled": True}
+
+
+def set_observability(enabled: bool) -> None:
+    """Process-wide observability switch (driven by each bench's --no-obs)."""
+    _obs_state["enabled"] = bool(enabled)
+
+
+def current_observability() -> ObservabilityConfig:
+    """The ObservabilityConfig every benchmark system should be built with."""
+    return _OBS_ON if _obs_state["enabled"] else _OBS_OFF
+
+
+def obs_enabled() -> bool:
+    return _obs_state["enabled"]
+
+
+def collect_critical_path(system, trace_output: Optional[Path] = None,
+                          title: Optional[str] = None) -> Optional[Dict]:
+    """Fold a measured system's trace into the per-stage breakdown.
+
+    Returns None (and writes nothing) when observability is off, so callers
+    can simply omit the ``critical_path`` key from their results JSON.
+    Otherwise prints the stage table, optionally exports the raw trace as
+    JSONL, and returns the breakdown dict for embedding in ``BENCH_*.json``.
+    """
+    if not system.config.observability.tracing:
+        return None
+    breakdown = system.critical_path()
+    print()
+    print(format_critical_path_table(breakdown, title=title))
+    if trace_output is not None:
+        count = system.export_trace_jsonl(str(trace_output))
+        dropped = system.obs.tracer.dropped
+        suffix = f" ({dropped} dropped at capacity)" if dropped else ""
+        print(f"wrote {count} trace events to {trace_output}{suffix}")
+    return breakdown
+
 
 def bench_config(**overrides) -> SystemConfig:
     defaults = dict(num_clients=2, pipeline_depth=64, checkpoint_interval=128,
-                    timers=BENCH_TIMERS)
+                    timers=BENCH_TIMERS, observability=current_observability())
     defaults.update(overrides)
     return SystemConfig(**defaults)
 

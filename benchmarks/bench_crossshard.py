@@ -53,6 +53,7 @@ from repro.workloads import (
     seed_operations,
 )
 
+from bench_common import collect_critical_path, current_observability, obs_enabled, set_observability
 from bench_hotpath import HOTPATH_CRYPTO
 
 NUM_SHARDS = 4
@@ -85,7 +86,8 @@ def build_system(seed: int) -> ShardedSystem:
         app_processing_ms=1.0, timers=CROSSSHARD_TIMERS,
         crypto=HOTPATH_CRYPTO,
         batching=BatchingConfig(mode="adaptive", min_bundle=1, max_bundle=64),
-        cross_shard=CrossShardConfig(enabled=True))
+        cross_shard=CrossShardConfig(enabled=True),
+        observability=current_observability())
     return ShardedSystem(config, KeyValueStore, seed=seed)
 
 
@@ -175,7 +177,8 @@ def section_audit(mixed_system) -> Dict:
     }
 
 
-def run_all(quick: bool, seed: int, workload_seed: int) -> Dict:
+def run_all(quick: bool, seed: int, workload_seed: int,
+            trace_output: Path = None) -> Dict:
     mixed_system, throughput = section_throughput(quick, seed, workload_seed)
     results = {
         "benchmark": "crossshard",
@@ -183,9 +186,18 @@ def run_all(quick: bool, seed: int, workload_seed: int) -> Dict:
         "unix_time": time.time(),
         "seed": seed,
         "workload_seed": workload_seed,
+        "observability": obs_enabled(),
         "throughput": throughput,
         "audit": section_audit(mixed_system),
     }
+    # Collect after the audit's drain so the trace covers the full stream,
+    # including every cross-shard vote round and collation (the mixed run is
+    # this benchmark's primary measured system).
+    critical_path = collect_critical_path(
+        mixed_system, trace_output,
+        title="critical path, mixed workload with multi-shard operations")
+    if critical_path is not None:
+        results["critical_path"] = critical_path
     results["pass"] = all([
         results["throughput"]["throughput_pass"],
         results["throughput"]["multi_pass"],
@@ -227,6 +239,12 @@ def main(argv=None) -> int:
                         help="workload-generator RNG seed")
     parser.add_argument("--output", type=Path,
                         default=Path("BENCH_crossshard.json"))
+    parser.add_argument("--no-obs", action="store_true",
+                        help="disable the metrics registry and request tracing")
+    parser.add_argument("--trace-output", type=Path,
+                        default=Path("TRACE_crossshard.jsonl"),
+                        help="JSONL destination for the mixed run's trace "
+                             "(ignored with --no-obs)")
     parser.add_argument("--baseline", type=Path,
                         default=Path(__file__).parent / "crossshard_baseline.json")
     parser.add_argument("--check-regression", action="store_true",
@@ -236,8 +254,10 @@ def main(argv=None) -> int:
                         help="rewrite the baseline from this run's measurement")
     args = parser.parse_args(argv)
 
+    set_observability(not args.no_obs)
     results = run_all(quick=args.quick, seed=args.seed,
-                      workload_seed=args.workload_seed)
+                      workload_seed=args.workload_seed,
+                      trace_output=None if args.no_obs else args.trace_output)
     args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {args.output}")
 

@@ -35,6 +35,7 @@ import time
 from pathlib import Path
 from typing import Dict, List
 
+from bench_common import current_observability, obs_enabled, set_observability
 from repro.analysis import format_table
 from repro.apps.kvstore import KeyValueStore
 from repro.apps.null_service import NullService
@@ -111,7 +112,8 @@ def build_sharded(perf: PerfConfig, num_shards: int = 4, seed: int = 42,
         checkpoint_interval=64, app_processing_ms=1.0,
         timers=timers, crypto=HOTPATH_CRYPTO,
         batching=ADAPTIVE, perf=perf,
-        pipeline=pipeline if pipeline is not None else PipelineConfig())
+        pipeline=pipeline if pipeline is not None else PipelineConfig(),
+        observability=current_observability())
     return ShardedSystem(config, KeyValueStore, seed=seed)
 
 
@@ -126,11 +128,15 @@ def crypto_totals(system) -> Dict[str, int]:
 
 def run_hotpath_workload(fast_path: bool, num_requests: int, seed: int = 42,
                          workload_seed: int = 7,
-                         pipeline: PipelineConfig = None):
+                         pipeline: PipelineConfig = None,
+                         trace_output: Path = None):
     """One uniform 4-shard kvstore run; returns (result, metrics dict).
 
     ``seed`` drives the simulator (network jitter) and ``workload_seed`` the
-    workload RNG; both are explicit so CI reruns are bit-identical.
+    workload RNG; both are explicit so CI reruns are bit-identical.  With
+    observability on, ``metrics["critical_path"]`` carries the per-stage
+    breakdown folded from the run's trace (and ``trace_output``, when given,
+    receives the raw trace as JSONL).
     """
     _set_fast_path(fast_path)
     system = build_sharded(PerfConfig() if fast_path else FASTPATH_OFF, seed=seed,
@@ -160,24 +166,36 @@ def run_hotpath_workload(fast_path: bool, num_requests: int, seed: int = 42,
         "wall_seconds": wall_elapsed,
         "events_per_sec": events / wall_elapsed,
     }
+    if system.config.observability.tracing:
+        metrics["critical_path"] = system.critical_path()
+        if trace_output is not None:
+            system.export_trace_jsonl(str(trace_output))
     _set_fast_path(True)
     return result, metrics
 
 
 def section_crypto_and_wallclock(quick: bool, seed: int = 42,
-                                 workload_seed: int = 7) -> Dict:
+                                 workload_seed: int = 7,
+                                 trace_output: Path = None) -> Dict:
     num_requests = 96 if quick else 240
     # Wall-clock measurement repeats: virtual metrics are deterministic, but
     # wall-clock is noisy, so take the best (least-interfered) of N runs.
     repeats = 1 if quick else 2
     before_runs = [run_hotpath_workload(False, num_requests, seed, workload_seed)
                    for _ in range(repeats)]
-    after_runs = [run_hotpath_workload(True, num_requests, seed, workload_seed)
-                  for _ in range(repeats)]
+    # The first fast-path-on run is this benchmark's primary measured system:
+    # its trace is the one exported and folded into the critical path.
+    after_runs = [run_hotpath_workload(True, num_requests, seed, workload_seed,
+                                       trace_output=trace_output if i == 0 else None)
+                  for i in range(repeats)]
     before = before_runs[0][1]
     after = after_runs[0][1]
     before["events_per_sec"] = max(m["events_per_sec"] for _, m in before_runs)
     after["events_per_sec"] = max(m["events_per_sec"] for _, m in after_runs)
+    # Hoist the primary run's breakdown out of the per-config metrics so the
+    # results JSON carries exactly one copy, at the top level.
+    before.pop("critical_path", None)
+    critical_path = after.pop("critical_path", None)
 
     reduction = 1.0 - (after["verify_ops_per_request"]
                        / max(before["verify_ops_per_request"], 1e-9))
@@ -195,7 +213,14 @@ def section_crypto_and_wallclock(quick: bool, seed: int = 42,
           after["throughput_rps"], after["events_per_sec"]]]))
     print(f"verify-op reduction: {100 * reduction:.1f}%   "
           f"wall-clock speedup: {speedup:.2f}x")
+    if critical_path is not None:
+        from repro.analysis.critical_path import format_critical_path_table
+        print()
+        print(format_critical_path_table(
+            critical_path, title="critical path, fast path on "
+            f"({critical_path['traces']} completed traces)"))
     return {
+        "critical_path": critical_path,
         "num_requests": num_requests,
         "before": before,
         "after": after,
@@ -237,7 +262,7 @@ def build_batching_system(bundle, seed: int = 105) -> SeparatedSystem:
         num_clients=16, pipeline_depth=64, checkpoint_interval=128,
         bundle_size=bundle_size, batching=batching,
         authentication=AuthenticationScheme.THRESHOLD,
-        timers=timers)
+        timers=timers, observability=current_observability())
     return SeparatedSystem(config, NullService, seed=seed)
 
 
@@ -376,17 +401,23 @@ def section_micro(quick: bool) -> Dict:
 # ---------------------------------------------------------------------- #
 
 
-def run_all(quick: bool, seed: int = 42, workload_seed: int = 7) -> Dict:
+def run_all(quick: bool, seed: int = 42, workload_seed: int = 7,
+            trace_output: Path = None) -> Dict:
     results = {
         "benchmark": "hotpath",
         "mode": "quick" if quick else "full",
         "unix_time": time.time(),
         "seed": seed,
         "workload_seed": workload_seed,
-        "crypto": section_crypto_and_wallclock(quick, seed, workload_seed),
+        "observability": obs_enabled(),
+        "crypto": section_crypto_and_wallclock(quick, seed, workload_seed,
+                                               trace_output=trace_output),
         "batching": section_batching(quick),
         "micro": section_micro(quick),
     }
+    critical_path = results["crypto"].pop("critical_path", None)
+    if critical_path is not None:
+        results["critical_path"] = critical_path
     # Virtual-time criteria are deterministic for a given seed and safe to
     # gate CI on; the wall-clock speedup depends on the machine and is
     # reported (and flagged) but never fails the exit status.
@@ -427,6 +458,14 @@ def main(argv=None) -> int:
     parser.add_argument("--workload-seed", type=int, default=7,
                         help="workload-generator RNG seed")
     parser.add_argument("--output", type=Path, default=Path("BENCH_hotpath.json"))
+    parser.add_argument("--no-obs", action="store_true",
+                        help="disable the metrics registry and request tracing "
+                             "(the overhead gate compares this against the "
+                             "default run; virtual-time results are identical)")
+    parser.add_argument("--trace-output", type=Path,
+                        default=Path("TRACE_hotpath.jsonl"),
+                        help="JSONL destination for the primary run's trace "
+                             "(ignored with --no-obs)")
     parser.add_argument("--baseline", type=Path,
                         default=Path(__file__).parent / "hotpath_baseline.json")
     parser.add_argument("--check-regression", action="store_true",
@@ -435,8 +474,10 @@ def main(argv=None) -> int:
                         help="rewrite the baseline from this run's measurement")
     args = parser.parse_args(argv)
 
+    set_observability(not args.no_obs)
     results = run_all(quick=args.quick, seed=args.seed,
-                      workload_seed=args.workload_seed)
+                      workload_seed=args.workload_seed,
+                      trace_output=None if args.no_obs else args.trace_output)
     args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {args.output}")
 

@@ -55,6 +55,7 @@ from repro.workloads import (
     run_ordered_window,
 )
 
+from bench_common import collect_critical_path, current_observability, obs_enabled, set_observability
 from bench_hotpath import HOTPATH_CRYPTO
 
 NUM_SHARDS = 4
@@ -96,7 +97,8 @@ def build_system(rebalance_enabled: bool, seed: int) -> ShardedSystem:
         num_clients=NUM_CLIENTS, pipeline_depth=16, checkpoint_interval=64,
         app_processing_ms=1.0, timers=REBALANCE_TIMERS, crypto=HOTPATH_CRYPTO,
         batching=BATCHING,
-        rebalance=REBALANCE if rebalance_enabled else RebalanceConfig())
+        rebalance=REBALANCE if rebalance_enabled else RebalanceConfig(),
+        observability=current_observability())
     return ShardedSystem(config, KeyValueStore, seed=seed)
 
 
@@ -122,7 +124,8 @@ def epoch_history(system: ShardedSystem) -> Dict[str, int]:
 # ---------------------------------------------------------------------- #
 
 
-def section_migrate(quick: bool, seed: int, workload_seed: int) -> Dict:
+def section_migrate(quick: bool, seed: int, workload_seed: int,
+                    trace_output: Path = None) -> Dict:
     num_requests = 6_000 if quick else 16_000
     duration_ms = 900.0 if quick else 2_500.0
     warmup_ms = 150.0 if quick else 200.0
@@ -133,9 +136,11 @@ def section_migrate(quick: bool, seed: int, workload_seed: int) -> Dict:
 
     runs = {}
     cuts = {}
+    systems = {}
     for label, enabled in (("static boundaries", False),
                            ("rebalancing", True)):
         system = build_system(enabled, seed=seed)
+        systems[label] = system
         runs[label] = run_ordered_window(
             system, operations=operations, duration_ms=duration_ms,
             warmup_ms=warmup_ms, label=label)
@@ -157,7 +162,13 @@ def section_migrate(quick: bool, seed: int, workload_seed: int) -> Dict:
          for label, result in runs.items()]))
     print(f"migrate speedup: {speedup:.2f}x   epoch cuts applied: "
           f"{cuts['rebalancing']['epochs']}")
+    # The rebalancing run is this benchmark's primary measured system: its
+    # trace feeds the exported JSONL and the critical path.
+    critical_path = collect_critical_path(
+        systems["rebalancing"], trace_output,
+        title="critical path, dynamic rebalancing under a migrating hotspot")
     return {
+        "critical_path": critical_path,
         "num_requests": num_requests,
         "duration_ms": duration_ms,
         "num_phases": NUM_PHASES,
@@ -242,16 +253,22 @@ def section_safety(quick: bool, seed: int, workload_seed: int) -> Dict:
 # ---------------------------------------------------------------------- #
 
 
-def run_all(quick: bool, seed: int, workload_seed: int) -> Dict:
+def run_all(quick: bool, seed: int, workload_seed: int,
+            trace_output: Path = None) -> Dict:
     results = {
         "benchmark": "rebalance",
         "mode": "quick" if quick else "full",
         "unix_time": time.time(),
         "seed": seed,
         "workload_seed": workload_seed,
-        "migrate": section_migrate(quick, seed, workload_seed),
+        "observability": obs_enabled(),
+        "migrate": section_migrate(quick, seed, workload_seed,
+                                   trace_output=trace_output),
         "safety": section_safety(quick, seed, workload_seed),
     }
+    critical_path = results["migrate"].pop("critical_path", None)
+    if critical_path is not None:
+        results["critical_path"] = critical_path
     results["pass"] = all([
         results["migrate"]["speedup_pass"],
         results["safety"]["safety_pass"],
@@ -291,6 +308,12 @@ def main(argv=None) -> int:
     parser.add_argument("--workload-seed", type=int, default=5,
                         help="workload-generator RNG seed")
     parser.add_argument("--output", type=Path, default=Path("BENCH_rebalance.json"))
+    parser.add_argument("--no-obs", action="store_true",
+                        help="disable the metrics registry and request tracing")
+    parser.add_argument("--trace-output", type=Path,
+                        default=Path("TRACE_rebalance.jsonl"),
+                        help="JSONL destination for the rebalancing run's "
+                             "trace (ignored with --no-obs)")
     parser.add_argument("--baseline", type=Path,
                         default=Path(__file__).parent / "rebalance_baseline.json")
     parser.add_argument("--check-regression", action="store_true",
@@ -300,8 +323,10 @@ def main(argv=None) -> int:
                         help="rewrite the baseline from this run's measurement")
     args = parser.parse_args(argv)
 
+    set_observability(not args.no_obs)
     results = run_all(quick=args.quick, seed=args.seed,
-                      workload_seed=args.workload_seed)
+                      workload_seed=args.workload_seed,
+                      trace_output=None if args.no_obs else args.trace_output)
     args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {args.output}")
 

@@ -55,6 +55,7 @@ from repro.workloads import (
     shard_affine_clients,
 )
 
+from bench_common import collect_critical_path, current_observability, obs_enabled, set_observability
 from bench_hotpath import HOTPATH_CRYPTO, run_hotpath_workload
 
 NUM_SHARDS = 4
@@ -95,7 +96,7 @@ def build_skew_system(pipeline: PipelineConfig, seed: int) -> ShardedSystem:
         checkpoint_interval=64, app_processing_ms=1.0,
         timers=SKEW_TIMERS, crypto=HOTPATH_CRYPTO,
         batching=BatchingConfig(mode="adaptive", min_bundle=1, max_bundle=64),
-        pipeline=pipeline)
+        pipeline=pipeline, observability=current_observability())
     return ShardedSystem(config, KeyValueStore, seed=seed)
 
 
@@ -104,7 +105,8 @@ def build_skew_system(pipeline: PipelineConfig, seed: int) -> ShardedSystem:
 # ---------------------------------------------------------------------- #
 
 
-def section_skew(quick: bool, seed: int, workload_seed: int) -> Dict:
+def section_skew(quick: bool, seed: int, workload_seed: int,
+                 trace_output: Path = None) -> Dict:
     num_requests = 8_000 if quick else 20_000
     duration_ms = 700.0 if quick else 2_000.0
     warmup_ms = 200.0 if quick else 300.0
@@ -115,9 +117,11 @@ def section_skew(quick: bool, seed: int, workload_seed: int) -> Dict:
                                     hot_fraction=HOT_FRACTION)
 
     runs = {}
+    systems = {}
     for label, pipeline in (("global watermark", GLOBAL_PIPELINE),
                             ("per-shard windows", PER_SHARD_PIPELINE)):
         system = build_skew_system(pipeline, seed=seed)
+        systems[label] = system
         runs[label] = run_skew_window(
             system, operations=operations, client_shards=affinity,
             duration_ms=duration_ms, warmup_ms=warmup_ms, label=label)
@@ -139,7 +143,13 @@ def section_skew(quick: bool, seed: int, workload_seed: int) -> Dict:
          for label, result in runs.items()]))
     print(f"skew speedup: {speedup:.2f}x   "
           f"cold-shard committed: {cold_base} -> {cold_pershard}")
+    # The skew-aware configuration is this benchmark's primary measured
+    # system: its trace feeds the exported JSONL and the critical path.
+    critical_path = collect_critical_path(
+        systems["per-shard windows"], trace_output,
+        title="critical path, per-shard windows under 80/20 skew")
     return {
+        "critical_path": critical_path,
         "num_requests": num_requests,
         "duration_ms": duration_ms,
         "hot_fraction": HOT_FRACTION,
@@ -214,16 +224,21 @@ def section_uniform(quick: bool, seed: int, workload_seed: int,
 
 
 def run_all(quick: bool, seed: int, workload_seed: int,
-            hotpath_baseline: Path) -> Dict:
+            hotpath_baseline: Path, trace_output: Path = None) -> Dict:
     results = {
         "benchmark": "skew",
         "mode": "quick" if quick else "full",
         "unix_time": time.time(),
         "seed": seed,
         "workload_seed": workload_seed,
-        "skew": section_skew(quick, seed, workload_seed),
+        "observability": obs_enabled(),
+        "skew": section_skew(quick, seed, workload_seed,
+                             trace_output=trace_output),
         "uniform": section_uniform(quick, seed, workload_seed, hotpath_baseline),
     }
+    critical_path = results["skew"].pop("critical_path", None)
+    if critical_path is not None:
+        results["critical_path"] = critical_path
     results["pass"] = all([
         results["skew"]["speedup_pass"],
         results["uniform"]["throughput_pass"],
@@ -272,6 +287,12 @@ def main(argv=None) -> int:
     parser.add_argument("--workload-seed", type=int, default=5,
                         help="workload-generator RNG seed")
     parser.add_argument("--output", type=Path, default=Path("BENCH_skew.json"))
+    parser.add_argument("--no-obs", action="store_true",
+                        help="disable the metrics registry and request tracing")
+    parser.add_argument("--trace-output", type=Path,
+                        default=Path("TRACE_skew.jsonl"),
+                        help="JSONL destination for the skew run's trace "
+                             "(ignored with --no-obs)")
     parser.add_argument("--baseline", type=Path,
                         default=Path(__file__).parent / "skew_baseline.json")
     parser.add_argument("--hotpath-baseline", type=Path,
@@ -283,9 +304,11 @@ def main(argv=None) -> int:
                         help="rewrite the baseline from this run's measurement")
     args = parser.parse_args(argv)
 
+    set_observability(not args.no_obs)
     results = run_all(quick=args.quick, seed=args.seed,
                       workload_seed=args.workload_seed,
-                      hotpath_baseline=args.hotpath_baseline)
+                      hotpath_baseline=args.hotpath_baseline,
+                      trace_output=None if args.no_obs else args.trace_output)
     args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {args.output}")
 

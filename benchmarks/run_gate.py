@@ -5,10 +5,12 @@ CI's bench-smoke job is a matrix over benchmark names; each leg runs::
     PYTHONPATH=src python benchmarks/run_gate.py --quick <name>
 
 which maps the name to its benchmark script and committed baseline, runs it
-with ``--check-regression``, writes ``BENCH_<name>.json`` into the current
-directory (the artifact CI uploads), and prints a one-line summary --
-speedup/ratio plus the gate verdict -- to stdout and, when running inside
-GitHub Actions, into ``$GITHUB_STEP_SUMMARY``.
+with ``--check-regression``, writes ``BENCH_<name>.json`` and the request
+trace ``TRACE_<name>.jsonl`` into the current directory (the artifacts CI
+uploads), schema-validates both (a malformed artifact fails the gate), and
+prints a one-line summary -- speedup/ratio, the dominant critical-path
+stage, and the gate verdict -- to stdout and, when running inside GitHub
+Actions, into ``$GITHUB_STEP_SUMMARY``.
 
 Adding a gated benchmark is a one-line edit to :data:`GATES` here plus a
 one-word edit to the workflow matrix.
@@ -23,6 +25,8 @@ import subprocess
 import sys
 from pathlib import Path
 from typing import Callable, Dict
+
+import validate_schema
 
 BENCH_DIR = Path(__file__).parent
 
@@ -78,12 +82,23 @@ GATES: Dict[str, Dict] = {
 }
 
 
+def _critical_path_note(results: Dict) -> str:
+    """The dominant critical-path stage, for the one-line gate summary."""
+    critical_path = results.get("critical_path")
+    if not isinstance(critical_path, dict) or not critical_path.get("dominant_stage"):
+        return ""
+    return (f", dominant stage {critical_path['dominant_stage']} "
+            f"(mean {critical_path.get('dominant_mean_ms', 0.0):.2f} ms "
+            f"over {critical_path.get('traces', 0)} traces)")
+
+
 def summarise(name: str, output: Path, status: int,
               summary_fn: Callable[[Dict], str]) -> str:
     detail = "no results written"
     if output.exists():
         try:
-            detail = summary_fn(json.loads(output.read_text()))
+            results = json.loads(output.read_text())
+            detail = summary_fn(results) + _critical_path_note(results)
         except (KeyError, TypeError, ValueError) as error:
             detail = f"unreadable results ({error})"
     verdict = "PASS" if status == 0 else "FAIL"
@@ -97,11 +112,21 @@ def run_gate(name: str, quick: bool) -> int:
         print(f"{name}: missing committed baseline {baseline}", file=sys.stderr)
         return 1
     output = Path.cwd() / f"BENCH_{name}.json"
+    trace = Path.cwd() / f"TRACE_{name}.jsonl"
     command = [sys.executable, str(BENCH_DIR / gate["script"]),
-               "--check-regression", "--output", str(output)]
+               "--check-regression", "--output", str(output),
+               "--trace-output", str(trace)]
     if quick:
         command.insert(2, "--quick")
     status = subprocess.call(command)
+    # A leg that writes malformed artifacts fails its gate even if its
+    # acceptance criteria passed: CI consumers index into both blindly.
+    schema_errors = (validate_schema.validate_bench_file(output)
+                     + validate_schema.validate_trace_file(trace))
+    for error in schema_errors:
+        print(f"schema: {error}", file=sys.stderr)
+    if schema_errors:
+        status = max(status, 1)
     line = summarise(name, output, status, gate["summary"])
     print(line)
     step_summary = os.environ.get("GITHUB_STEP_SUMMARY")

@@ -1,0 +1,183 @@
+"""Schema validation for benchmark artifacts (no third-party deps).
+
+CI uploads two machine-readable artifacts per gated benchmark leg: the
+``BENCH_<name>.json`` results file and the ``TRACE_<name>.jsonl`` request
+trace.  Downstream tooling (the gate summaries, the overhead comparison,
+dashboards fed from the artifacts) indexes into both blindly, so a leg that
+writes a malformed file must fail its gate rather than silently producing
+an artifact nobody can read.  This module is that check: a hand-rolled
+validator for exactly the fields the consumers rely on, deliberately
+independent of the ``repro`` package so schema drift in the producer cannot
+silently relax the contract.
+
+``run_gate.py`` imports and applies it after every leg; it can also be run
+standalone::
+
+    python benchmarks/validate_schema.py --bench BENCH_hotpath.json \
+        --trace TRACE_hotpath.jsonl
+
+Exit status is non-zero if any file fails, with one line per violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+#: top-level fields every BENCH_*.json must carry
+BENCH_REQUIRED = {"benchmark": str, "mode": str, "seed": int,
+                  "workload_seed": int, "pass": bool}
+
+#: the six canonical critical-path stages (always present in a breakdown)
+REQUIRED_STAGES = ("admit", "batch", "agree", "release", "execute", "reply")
+
+#: per-stage summary fields, all numeric
+STAGE_FIELDS = ("samples", "mean_ms", "p50_ms", "p99_ms", "p999_ms", "max_ms")
+
+#: the tracer's event vocabulary (a trace line outside it is malformed)
+TRACE_EVENTS = frozenset({
+    "submit", "admit", "order", "commit", "stage", "release", "execute",
+    "vote_open", "vote_done", "collate", "reply",
+})
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_bench(results: Dict, require_critical_path: bool = True) -> List[str]:
+    """Violations in a parsed BENCH_*.json (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(results, dict):
+        return ["results: not a JSON object"]
+    for field, kind in BENCH_REQUIRED.items():
+        if field not in results:
+            errors.append(f"results: missing required field '{field}'")
+        elif not isinstance(results[field], kind):
+            errors.append(f"results.{field}: expected {kind.__name__}, "
+                          f"got {type(results[field]).__name__}")
+
+    critical_path = results.get("critical_path")
+    if critical_path is None:
+        if require_critical_path:
+            errors.append("results: missing 'critical_path' (obs-enabled "
+                          "runs must embed the per-stage breakdown)")
+        return errors
+    if not isinstance(critical_path, dict):
+        return errors + ["critical_path: not a JSON object"]
+    if not isinstance(critical_path.get("dominant_stage"), str):
+        errors.append("critical_path.dominant_stage: missing or not a string")
+    if not _is_number(critical_path.get("traces")):
+        errors.append("critical_path.traces: missing or not a number")
+    stages = critical_path.get("stages")
+    if not isinstance(stages, dict):
+        return errors + ["critical_path.stages: missing or not a JSON object"]
+    for stage in REQUIRED_STAGES:
+        summary = stages.get(stage)
+        if not isinstance(summary, dict):
+            errors.append(f"critical_path.stages.{stage}: missing")
+            continue
+        for field in STAGE_FIELDS:
+            if not _is_number(summary.get(field)):
+                errors.append(f"critical_path.stages.{stage}.{field}: "
+                              "missing or not a number")
+    return errors
+
+
+def validate_bench_file(path: Path, require_critical_path: bool = True) -> List[str]:
+    if not path.exists():
+        return [f"{path}: does not exist"]
+    try:
+        results = json.loads(path.read_text())
+    except ValueError as error:
+        return [f"{path}: not valid JSON ({error})"]
+    return [f"{path}: {error}"
+            for error in validate_bench(results, require_critical_path)]
+
+
+def validate_trace_lines(lines) -> List[str]:
+    """Violations in an iterable of raw JSONL trace lines (empty = valid).
+
+    Virtual time is monotonic and the tracer records in execution order, so
+    ``t_ms`` must be non-decreasing across the file -- a violation means the
+    trace was reordered or stitched from different runs.
+    """
+    errors: List[str] = []
+    last_t = float("-inf")
+    count = 0
+    for index, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        count += 1
+        try:
+            record = json.loads(line)
+        except ValueError as error:
+            errors.append(f"line {index}: not valid JSON ({error})")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"line {index}: not a JSON object")
+            continue
+        for field, kind in (("trace_id", str), ("event", str), ("node", str)):
+            if not isinstance(record.get(field), kind):
+                errors.append(f"line {index}: '{field}' missing or not a "
+                              f"{kind.__name__}")
+        event = record.get("event")
+        if isinstance(event, str) and event not in TRACE_EVENTS:
+            errors.append(f"line {index}: unknown event '{event}'")
+        t_ms = record.get("t_ms")
+        if not _is_number(t_ms) or t_ms < 0:
+            errors.append(f"line {index}: 't_ms' missing, non-numeric, "
+                          "or negative")
+        elif t_ms < last_t:
+            errors.append(f"line {index}: 't_ms' {t_ms} decreases "
+                          f"(previous {last_t})")
+        else:
+            last_t = t_ms
+        if len(errors) >= 20:
+            errors.append("... (further violations suppressed)")
+            break
+    if count == 0 and not errors:
+        errors.append("trace is empty (obs-enabled runs must record events)")
+    return errors
+
+
+def validate_trace_file(path: Path) -> List[str]:
+    if not path.exists():
+        return [f"{path}: does not exist"]
+    with path.open(encoding="utf-8") as handle:
+        return [f"{path}: {error}" for error in validate_trace_lines(handle)]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", type=Path, action="append", default=[],
+                        help="BENCH_*.json file to validate (repeatable)")
+    parser.add_argument("--trace", type=Path, action="append", default=[],
+                        help="TRACE_*.jsonl file to validate (repeatable)")
+    parser.add_argument("--allow-missing-critical-path", action="store_true",
+                        help="accept BENCH files without a critical_path "
+                             "section (obs-disabled runs)")
+    args = parser.parse_args(argv)
+    if not args.bench and not args.trace:
+        parser.error("nothing to validate: pass --bench and/or --trace")
+
+    errors: List[str] = []
+    for path in args.bench:
+        errors.extend(validate_bench_file(
+            path, require_critical_path=not args.allow_missing_critical_path))
+    for path in args.trace:
+        errors.extend(validate_trace_file(path))
+    for error in errors:
+        print(f"schema: {error}", file=sys.stderr)
+    checked = len(args.bench) + len(args.trace)
+    if not errors:
+        print(f"schema: {checked} artifact(s) valid")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,7 @@ from .config import (
     CryptoCosts,
     Deployment,
     NetworkConfig,
+    ObservabilityConfig,
     ShardingConfig,
     SystemConfig,
     TimerConfig,
@@ -63,6 +64,7 @@ __all__ = [
     "CryptoCosts",
     "Deployment",
     "NetworkConfig",
+    "ObservabilityConfig",
     "ShardingConfig",
     "SystemConfig",
     "TimerConfig",

@@ -27,7 +27,12 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..config import BatchingConfig, SystemConfig
 from ..crypto.certificate import Certificate
 from ..messages.request import ClientRequest
+from ..obs import NULL_REGISTRY
 from ..util.ids import NodeId
+
+#: bundle sizes are small integers; power-of-two buckets resolve them exactly
+#: up to the default ``max_bundle``
+_BUNDLE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
 class StaticBundleController:
@@ -156,10 +161,26 @@ class Batcher:
     def __init__(self, bundle_size: int = 1, controller=None,
                  classifier: Optional[Callable[[Certificate], int]] = None,
                  controller_factory: Optional[Callable[[], object]] = None,
-                 demote_idle_ms: Optional[float] = None) -> None:
+                 demote_idle_ms: Optional[float] = None,
+                 metrics=None) -> None:
         #: the shared (low-load) controller; ``bundle_size`` only seeds the
         #: default static controller.
         self.controller = controller or StaticBundleController(bundle_size)
+        #: observability instruments (no-ops unless the owning replica hands
+        #: over its live registry); cached so a take costs three no-op calls
+        #: when metrics are disabled
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._h_bundle_size = metrics.histogram("batch.bundle_size",
+                                                bounds=_BUNDLE_BUCKETS)
+        self._h_wait_ms = metrics.histogram("batch.wait_ms")
+        self._g_window = metrics.gauge("batch.bundle_window")
+        metrics.register_probe("batch.totals", lambda: {
+            "total_enqueued": self.total_enqueued,
+            "total_batches": self.total_batches,
+            "largest_batch": self.largest_batch,
+            "demotions": self.demotions,
+            "shard_controllers": len(self._shard_controllers),
+        })
         self.classifier = classifier
         self._controller_factory = controller_factory
         #: sustained-idle horizon after which a per-shard controller is
@@ -350,10 +371,13 @@ class Batcher:
             key = self._key(certificate)
             del self._keys[key]
             del self._arrival_of[key]
+            self._h_wait_ms.observe(now - self._arrival_time[key])
             del self._arrival_time[key]
         self.total_batches += 1
         self.largest_batch = max(self.largest_batch, count)
         self._note_take(shard, backlog, count, in_flight)
+        self._h_bundle_size.observe(count)
+        self._g_window.set(self.controller_for(shard).current)
         return batch
 
     def _note_take(self, shard: Optional[int], backlog_before: int,

@@ -45,6 +45,7 @@ from ..messages.agreement import (
 from ..messages.reply import BatchReply
 from ..messages.request import ClientRequest, RequestEnvelope
 from ..net.message import Message
+from ..obs import request_trace_id
 from ..sim.process import Process
 from ..sim.scheduler import Scheduler, Timer
 from ..statemachine.nondet import NonDeterminismResolver, NonDetInput
@@ -86,8 +87,23 @@ class AgreementReplica(Process):
         self.view = 0
         self.next_seq = 1
         self.log = AgreementLog(config.checkpoint_interval)
-        self.batcher = Batcher(controller=make_bundle_controller(config))
+        self.batcher = Batcher(controller=make_bundle_controller(config),
+                               metrics=self.metrics)
         self._adaptive_batching = config.batching.mode == "adaptive"
+        #: observability instruments (shared no-ops when metrics are off)
+        self._h_batch_size = self.metrics.histogram(
+            "agreement.batch_size", bounds=(1, 2, 4, 8, 16, 32, 64, 128))
+        self._h_agree_ms = self.metrics.histogram("agreement.commit_ms")
+        self._c_batches = self.metrics.counter("agreement.batches_delivered")
+        self._c_requests = self.metrics.counter("agreement.requests_delivered")
+        self.metrics.register_probe("agreement.state", lambda: {
+            "view": self.view,
+            "view_changes_completed": self.view_changes_completed,
+            "cross_shard_ordered": self.cross_shard_ordered,
+            "rtt_ewma_ms": self._rtt_ewma,
+            "cert_cache_hits": self.crypto.cache.hits if self.crypto.cache else 0,
+            "cert_cache_misses": self.crypto.cache.misses if self.crypto.cache else 0,
+        })
         self.nondet = NonDeterminismResolver()
 
         #: highest timestamp ordered (assigned a sequence number) per client
@@ -165,7 +181,8 @@ class AgreementReplica(Process):
             controller=make_bundle_controller(self.config),
             classifier=lambda cert: classifier(cert.payload),
             controller_factory=lambda: make_bundle_controller(self.config),
-            demote_idle_ms=self.config.batching.demote_idle_ms)
+            demote_idle_ms=self.config.batching.demote_idle_ms,
+            metrics=self.metrics)
 
     def enable_cross_shard(self, probe) -> None:
         """Install the cross-shard request probe (``repro.sharding``).
@@ -286,6 +303,9 @@ class AgreementReplica(Process):
             added = self.batcher.add(certificate, now=self.now)
         if not added:
             return
+        if self.tracing:
+            self.trace_event(request_trace_id(request.client, request.timestamp),
+                             "admit")
         self._arm_request_deadline(request)
         if self.is_primary:
             self.maybe_make_batch()
@@ -662,6 +682,9 @@ class AgreementReplica(Process):
         self.next_seq += 1
         self._inflight_batch_sizes[seq] = len(requests)
         self._batch_sent_at[seq] = self.now
+        self._h_batch_size.observe(len(requests))
+        if self.tracing:
+            self._trace_batch(requests, "order")
         batch_digest = self._batch_digest(requests)
         nondet = self.nondet.propose(self.now, seed=batch_digest)
         pre_prepare = PrePrepare(view=self.view, seq=seq, batch_digest=batch_digest,
@@ -673,6 +696,14 @@ class AgreementReplica(Process):
         # The primary's pre-prepare counts as its prepare.
         self._try_prepared(entry)
         return seq
+
+    def _trace_batch(self, requests, event: str) -> None:
+        """Record a span event for every client request of one batch."""
+        for certificate in requests:
+            request = certificate.payload
+            if isinstance(request, ClientRequest):
+                self.trace_event(
+                    request_trace_id(request.client, request.timestamp), event)
 
     def _batch_digest(self, requests: List[Certificate]) -> bytes:
         request_digests = [self.crypto.payload_digest(cert.payload) for cert in requests]
@@ -842,6 +873,11 @@ class AgreementReplica(Process):
         if entry.commit_count(digest) < 2 * self.f + 1:
             return
         entry.committed = True
+        if self.tracing and entry.pre_prepare is not None:
+            self._trace_batch(entry.pre_prepare.requests, "commit")
+        sent_at = self._batch_sent_at.get(entry.seq)
+        if sent_at is not None:
+            self._h_agree_ms.observe(self.now - sent_at)
         if self.config.pipeline.ooo_shard_delivery:
             self._stage_committed(entry)
         self._deliver_in_order()
@@ -911,6 +947,8 @@ class AgreementReplica(Process):
         self.log.last_delivered_seq = entry.seq
         self.batches_delivered += 1
         self.requests_delivered += len(entry.pre_prepare.requests)
+        self._c_batches.inc()
+        self._c_requests.inc(len(entry.pre_prepare.requests))
         for request_cert in entry.pre_prepare.requests:
             request = request_cert.payload
             if not isinstance(request, ClientRequest):

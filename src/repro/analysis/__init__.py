@@ -10,7 +10,13 @@ from .cost_model import (
     relative_cost,
     relative_cost_curve,
 )
-from .metrics import LatencySummary, ThroughputSummary, summarize_latencies
+from .critical_path import (
+    STAGES as CRITICAL_PATH_STAGES,
+    critical_path_breakdown,
+    format_critical_path_table,
+    stage_durations,
+)
+from .metrics import LatencySummary, ThroughputSummary, percentile, summarize_latencies
 from .reporting import format_table
 
 __all__ = [
@@ -24,6 +30,11 @@ __all__ = [
     "relative_cost_curve",
     "LatencySummary",
     "ThroughputSummary",
+    "percentile",
     "summarize_latencies",
     "format_table",
+    "CRITICAL_PATH_STAGES",
+    "critical_path_breakdown",
+    "format_critical_path_table",
+    "stage_durations",
 ]

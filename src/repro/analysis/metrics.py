@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 import statistics
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence
@@ -16,6 +17,7 @@ class LatencySummary:
     median_ms: float
     p95_ms: float
     p99_ms: float
+    p999_ms: float
     min_ms: float
     max_ms: float
     stdev_ms: float
@@ -36,10 +38,18 @@ class ThroughputSummary:
 
 
 def percentile(sorted_samples: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile of pre-sorted samples."""
+    """Nearest-rank percentile of pre-sorted samples.
+
+    Nearest-rank takes the sample at rank ``ceil(fraction * n)`` (1-based).
+    The previous ``int(fraction * n)`` truncation under-indexed by one rank
+    whenever ``fraction * n`` was not an integer *and* over-indexed the
+    median (``0.5 * n`` exact gave rank ``n/2 + 1``), biasing every reported
+    percentile; ``ceil(fraction * n) - 1`` is the correct 0-based index.
+    """
     if not sorted_samples:
         raise ValueError("percentile of an empty sample set")
-    index = min(len(sorted_samples) - 1, int(fraction * len(sorted_samples)))
+    index = min(len(sorted_samples) - 1,
+                max(0, math.ceil(fraction * len(sorted_samples)) - 1))
     return sorted_samples[index]
 
 
@@ -54,6 +64,7 @@ def summarize_latencies(latencies_ms: Iterable[float]) -> LatencySummary:
         median_ms=statistics.median(samples),
         p95_ms=percentile(samples, 0.95),
         p99_ms=percentile(samples, 0.99),
+        p999_ms=percentile(samples, 0.999),
         min_ms=samples[0],
         max_ms=samples[-1],
         stdev_ms=statistics.pstdev(samples) if len(samples) > 1 else 0.0,

@@ -455,6 +455,44 @@ class BatchingConfig:
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig:
+    """Metrics registry and causal request tracing (both off by default).
+
+    Observability is strictly *passive*: enabling it never charges virtual
+    processing time, never schedules events, and never draws from the
+    deterministic RNG, so the virtual-time results of a run are bit-identical
+    whether it is on or off (CI's overhead gate enforces this).  Timestamps
+    are always read from the virtual clock -- never the wall clock -- so
+    traces from identical seeds are themselves identical.
+
+    ``metrics``
+        Hand every node a live :class:`~repro.obs.registry.MetricsRegistry`
+        (counters/gauges/histograms over the hot paths).  When false, nodes
+        share a single no-op registry whose mutators do nothing.
+    ``tracing``
+        Record a span event (trace id, event name, node, virtual time) at
+        every hop a client request takes through the planes; exportable as
+        JSONL and foldable into a per-stage critical-path breakdown.
+    ``trace_capacity``
+        Upper bound on retained trace events; once full, further events are
+        counted as dropped rather than recorded (bounds memory on very long
+        runs without perturbing the simulation).
+    """
+
+    metrics: bool = False
+    tracing: bool = False
+    trace_capacity: int = 1_000_000
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics or self.tracing
+
+    def validate(self) -> None:
+        if self.trace_capacity < 0:
+            raise ConfigurationError("trace_capacity must be non-negative")
+
+
+@dataclass(frozen=True)
 class TimerConfig:
     """Retransmission and view-change timers (virtual milliseconds)."""
 
@@ -522,6 +560,7 @@ class SystemConfig:
     perf: PerfConfig = field(default_factory=PerfConfig)
     batching: BatchingConfig = field(default_factory=BatchingConfig)
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -571,6 +610,7 @@ class SystemConfig:
         self.perf.validate()
         self.batching.validate()
         self.pipeline.validate()
+        self.observability.validate()
 
     # ------------------------------------------------------------------ #
     # Cluster sizes (the paper's replication-cost arithmetic).

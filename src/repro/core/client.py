@@ -25,6 +25,7 @@ from ..crypto.provider import CryptoProvider
 from ..messages.reply import BatchReplyBody, ClientReply
 from ..messages.request import ClientRequest, EncryptedBody, RequestEnvelope
 from ..net.message import Message
+from ..obs import request_trace_id
 from ..sim.process import Process
 from ..sim.scheduler import Scheduler, Timer
 from ..statemachine.interface import Operation, OperationResult
@@ -145,6 +146,8 @@ class ClientNode(Process):
             callback=callback,
             timeout_ms=self.config.timers.client_retransmit_ms,
         )
+        if self.tracing:
+            self.trace_event(request_trace_id(self.node_id, timestamp), "submit")
         primary = self.agreement_ids[self._last_known_view % len(self.agreement_ids)]
         self.send(primary, envelope)
         self._arm_timer()
@@ -229,6 +232,10 @@ class ClientNode(Process):
             completed_at_ms=self.now, seq=reply.seq, view=reply.view,
         )
         self.completed.append(record)
+        if self.tracing:
+            self.trace_event(request_trace_id(self.node_id, pending.timestamp),
+                             "reply")
+        self.metrics.histogram("client.latency_ms").observe(record.latency_ms)
         self._last_known_view = reply.view
         if pending.timer is not None:
             pending.timer.cancel()

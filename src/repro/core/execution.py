@@ -38,6 +38,7 @@ from ..messages.checkpoint import (
 from ..messages.reply import BatchReply, BatchReplyBody, ClientReply, ReplyBody
 from ..messages.request import ClientRequest, EncryptedBody
 from ..net.message import Message
+from ..obs import request_trace_id
 from ..sim.process import Process
 from ..sim.scheduler import Scheduler
 from ..statemachine.interface import OperationResult, StateMachine
@@ -108,6 +109,24 @@ class ExecutionNode(Process):
         self.batches_executed = 0
         self.duplicate_requests = 0
         self.state_transfers = 0
+
+        # Observability (passive: never charges, never schedules).
+        self._h_exec_batch = self.metrics.histogram(
+            "execution.batch_size",
+            bounds=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0))
+        self._c_exec_requests = self.metrics.counter("execution.requests")
+        self.metrics.register_probe("execution.state", self._execution_probe)
+
+    def _execution_probe(self) -> dict:
+        """Snapshot of the replica's ad-hoc counters for the registry."""
+        return {
+            "max_executed": self.max_executed,
+            "requests_executed": self.requests_executed,
+            "batches_executed": self.batches_executed,
+            "duplicate_requests": self.duplicate_requests,
+            "state_transfers": self.state_transfers,
+            "pending_batches": len(self.pending),
+        }
 
     # ------------------------------------------------------------------ #
     # Message dispatch.
@@ -245,6 +264,7 @@ class ExecutionNode(Process):
             replies.append(self._execute_request(batch, request))
         self.max_executed = batch.seq
         self.batches_executed += 1
+        self._h_exec_batch.observe(len(batch.request_certificates))
         body = self._make_reply_body(batch.view, batch.seq, tuple(replies))
         reply_message = self._send_reply(body)
         self.replies_by_seq[batch.seq] = reply_message
@@ -260,6 +280,10 @@ class ExecutionNode(Process):
             result = self.app.execute(operation, batch.nondet)
             self.charge(self.config.app_processing_ms + result.processing_ms)
             self.requests_executed += 1
+            self._c_exec_requests.inc()
+            if self.tracing:
+                self.trace_event(
+                    request_trace_id(request.client, request.timestamp), "execute")
             reply = ReplyBody(view=batch.view, seq=batch.seq,
                               timestamp=request.timestamp, client=request.client,
                               result=self._wrap_result(result))

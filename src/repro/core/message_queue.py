@@ -33,6 +33,7 @@ from ..errors import ProtocolError
 from ..messages.agreement import OrderedBatch
 from ..messages.reply import BatchReply, BatchReplyBody, ClientReply
 from ..messages.request import ClientRequest
+from ..obs import request_trace_id
 from ..sim.process import Process
 from ..sim.scheduler import Timer
 from ..statemachine.nondet import NonDetInput
@@ -90,6 +91,31 @@ class MessageQueue(LocalExecutor):
         self.retransmissions = 0
         self.cache_hits = 0
 
+        # Observability (passive: never charges, never schedules).
+        self._c_batches_sent = owner.metrics.counter("queue.batches_sent")
+        self._c_replies_forwarded = owner.metrics.counter("queue.replies_forwarded")
+        owner.metrics.register_probe("queue.state", self._queue_probe)
+
+    def _queue_probe(self) -> dict:
+        """Snapshot of the queue's ad-hoc counters for the metrics registry."""
+        return {
+            "max_n": self.max_n,
+            "pending_sends": len(self.pending_sends),
+            "batches_sent": self.batches_sent,
+            "replies_forwarded": self.replies_forwarded,
+            "retransmissions": self.retransmissions,
+            "cache_hits": self.cache_hits,
+        }
+
+    def _trace_requests(self, certificates: Tuple[Certificate, ...],
+                        event: str) -> None:
+        """Record one trace event per client request inside a batch."""
+        for certificate in certificates:
+            request = certificate.payload
+            if isinstance(request, ClientRequest):
+                self.owner.trace_event(
+                    request_trace_id(request.client, request.timestamp), event)
+
     # ------------------------------------------------------------------ #
     # Helpers.
     # ------------------------------------------------------------------ #
@@ -101,6 +127,7 @@ class MessageQueue(LocalExecutor):
     def _send_downstream(self, batch: OrderedBatch) -> None:
         self.owner.multicast(self.downstream, batch)
         self.batches_sent += 1
+        self._c_batches_sent.inc()
 
     # ------------------------------------------------------------------ #
     # LocalExecutor interface (called by the agreement replica).
@@ -116,6 +143,8 @@ class MessageQueue(LocalExecutor):
                              agreement_certificate=agreement_certificate,
                              nondet=nondet)
         self.max_n = max(self.max_n, seq)
+        if self.owner.tracing:
+            self._trace_requests(batch.request_certificates, "release")
         pending = PendingSend(batch=batch,
                               timeout_ms=self.config.timers.agreement_retransmit_ms)
         self.pending_sends[seq] = pending
@@ -281,6 +310,7 @@ class MessageQueue(LocalExecutor):
                     self.cache[reply.client] = client_reply
             self.owner.send(reply.client, client_reply)
             self.replies_forwarded += 1
+            self._c_replies_forwarded.inc()
         self._notify_pipeline_progress()
 
     def _notify_pipeline_progress(self) -> None:

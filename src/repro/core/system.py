@@ -21,8 +21,10 @@ from ..errors import ConfigurationError, LivenessTimeoutError
 from ..net.faults import NetworkFaultModel
 from ..net.network import Network
 from ..net.topology import Topology
+from ..obs import ObservabilityHub, TraceEvent
 from ..sim.process import Process
 from ..sim.scheduler import Scheduler
+from ..util.wirecache import WIRE_CACHE
 from ..statemachine.interface import Operation, StateMachine
 from ..util.ids import NodeId, agreement_id, client_id, execution_id
 from .client import ClientNode, CompletedRequest
@@ -39,6 +41,14 @@ class SimulatedSystem:
     def __init__(self, config: SystemConfig, seed: Optional[int] = None) -> None:
         self.config = config
         self.scheduler = Scheduler(seed if seed is not None else config.seed)
+        # The observability hub must be installed before any Process is
+        # constructed: each node captures its registry and tracing flag in
+        # Process.__init__.  The hub is strictly passive (no charges, no
+        # events, no RNG), so virtual-time results are identical with
+        # observability on, off, or absent.
+        self.obs = ObservabilityHub(config.observability)
+        self.scheduler.obs = self.obs
+        self.obs.register_global_probe("wire_cache", WIRE_CACHE.snapshot)
         self.keystore = Keystore()
         faults = NetworkFaultModel(config.network, self.scheduler.random.fork("network"))
         self.network = Network(self.scheduler, topology=Topology.full(), faults=faults)
@@ -122,6 +132,36 @@ class SimulatedSystem:
         if not servers:
             return 0.0
         return max(process.stats.utilization(window) for process in servers)
+
+    # ------------------------------------------------------------------ #
+    # Observability.
+    # ------------------------------------------------------------------ #
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Every node's registered instruments and probes, plus the per-node
+        crypto operation counters (which surface the ``*_cached`` tallies).
+
+        Empty when ``config.observability.metrics`` is off.
+        """
+        if not self.config.observability.metrics:
+            return {}
+        snapshot = self.obs.metrics_snapshot()
+        snapshot["crypto_ops"] = self.crypto_op_totals()
+        return snapshot
+
+    def trace_events(self) -> List[TraceEvent]:
+        """Every recorded trace event, in record order (empty when off)."""
+        return self.obs.tracer.events()
+
+    def export_trace_jsonl(self, path: str) -> int:
+        """Write the recorded trace to ``path`` as JSONL; returns the count."""
+        return self.obs.tracer.export_jsonl(path)
+
+    def critical_path(self) -> Dict[str, object]:
+        """Per-stage latency breakdown folded from the recorded trace."""
+        from ..analysis.critical_path import critical_path_breakdown
+
+        return critical_path_breakdown(self.trace_events())
 
 
 class SeparatedSystem(SimulatedSystem):

@@ -82,3 +82,14 @@ class VerifiedCertificateCache:
         self._facts.clear()
         self.hits = 0
         self.misses = 0
+
+    def snapshot(self) -> dict:
+        """Hit/miss/occupancy counters for the metrics registry's probes."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "entries": len(self._facts),
+            "capacity": self.capacity,
+        }

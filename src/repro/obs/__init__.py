@@ -1,0 +1,39 @@
+"""Observability: per-node metrics registry and causal request tracing.
+
+Config-gated by :class:`repro.config.ObservabilityConfig` (off by default),
+strictly passive (no charges, no timers, no RNG, no wall clock), and wired
+into every plane through the scheduler/process hooks in :mod:`repro.sim`.
+"""
+
+from .hub import DISABLED_HUB, ObservabilityHub
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+from .trace import (
+    TraceEvent,
+    Tracer,
+    read_trace_jsonl,
+    request_trace_id,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "DISABLED_HUB",
+    "ObservabilityHub",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "TraceEvent",
+    "Tracer",
+    "read_trace_jsonl",
+    "request_trace_id",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,208 @@
+"""Per-node metrics registry: counters, gauges, histograms, and probes.
+
+Every :class:`~repro.sim.process.Process` owns a registry (handed out by the
+:class:`~repro.obs.hub.ObservabilityHub` attached to the scheduler).  The
+instruments are deliberately minimal -- plain attribute bumps, no locking, no
+wall-clock reads -- so recording a sample costs a few dict-free operations on
+the hot path and *nothing at all* when observability is disabled: a disabled
+registry hands back shared no-op singletons whose mutators are empty methods,
+and components that cache their instrument objects at construction time
+(``self._h_batch = metrics.histogram(...)``) therefore pay one no-op call per
+event, never a lookup.
+
+Besides live instruments, a registry accepts *probes*: named zero-argument
+callables registered by components that already maintain their own counters
+(the verified-certificate cache's hit/miss tallies, a batcher's totals, a
+rebalance controller's load window).  Probes are only invoked at snapshot
+time, which surfaces those ad-hoc counters through the registry with zero
+hot-path cost.
+
+All histogram semantics are upper-inclusive nearest-rank: bucket ``i`` counts
+samples ``<= bounds[i]``, the final overflow bucket counts the rest, and
+quantiles are answered from the cumulative bucket counts (exact min/max/sum
+are tracked on the side).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence
+
+#: default latency-style bucket upper bounds, in virtual milliseconds
+DEFAULT_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+                   100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Bucketed distribution with exact count/sum/min/max."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str, bounds: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.bounds = tuple(bounds) if bounds is not None else DEFAULT_BUCKETS
+        if any(b1 >= b2 for b1, b2 in zip(self.bounds, self.bounds[1:])):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        """Nearest-rank quantile answered from the buckets.
+
+        Returns the upper bound of the bucket holding the target rank,
+        clamped to the observed maximum (which is exact for the overflow
+        bucket), so the answer is an upper bound on the true sample
+        quantile that is off by at most one bucket width.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(fraction * self.count))
+        cumulative = 0
+        for index, bucket in enumerate(self.bucket_counts):
+            cumulative += bucket
+            if cumulative >= rank:
+                if index == len(self.bounds):
+                    return self.max
+                return min(self.bounds[index], self.max)
+        return self.max
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
+            "buckets": dict(zip([f"le_{b:g}" for b in self.bounds]
+                                + ["overflow"], self.bucket_counts)),
+        }
+
+
+class _NoopCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NoopGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NoopHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+#: shared no-op instruments handed out by disabled registries
+NOOP_COUNTER = _NoopCounter("noop")
+NOOP_GAUGE = _NoopGauge("noop")
+NOOP_HISTOGRAM = _NoopHistogram("noop")
+
+
+class MetricsRegistry:
+    """One node's named instruments plus snapshot-time probes."""
+
+    def __init__(self, node: str, enabled: bool = True) -> None:
+        self.node = node
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._probes: Dict[str, Callable[[], object]] = {}
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return NOOP_COUNTER
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return NOOP_GAUGE
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[float]] = None) -> Histogram:
+        if not self.enabled:
+            return NOOP_HISTOGRAM
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    def register_probe(self, name: str, probe: Callable[[], object]) -> None:
+        """Attach a zero-argument callable read only at snapshot time."""
+        if self.enabled:
+            self._probes[name] = probe
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Everything this registry knows, as plain JSON-serialisable data."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {name: h.snapshot()
+                           for name, h in sorted(self._histograms.items())},
+            "probes": {name: probe() for name, probe in sorted(self._probes.items())},
+        }
+
+
+#: the registry handed to every node when observability is disabled
+NULL_REGISTRY = MetricsRegistry("disabled", enabled=False)

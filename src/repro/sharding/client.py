@@ -74,6 +74,15 @@ class ShardAwareClient(ClientNode):
         self.cross_shard_retries = 0
         self.invalid_cross_shard_replies = 0
         self.collator_equivocations = 0
+        self.metrics.register_probe("shardclient.state", lambda: {
+            "epoch": self.epoch,
+            "epoch_advances": self.epoch_advances,
+            "misrouted_replies": self.misrouted_replies,
+            "cross_shard_completed": self.cross_shard_completed,
+            "cross_shard_retries": self.cross_shard_retries,
+            "invalid_cross_shard_replies": self.invalid_cross_shard_replies,
+            "collator_equivocations": self.collator_equivocations,
+        })
 
     def _issue(self, operation: Operation, timestamp: int,
                callback: Optional[Callable[[CompletedRequest], None]],

@@ -76,6 +76,7 @@ from ..messages.checkpoint import BatchTransfer
 from ..messages.reply import BatchReplyBody, ReplyBody
 from ..messages.request import ClientRequest
 from ..net.message import Message
+from ..obs import request_trace_id
 from ..sim.scheduler import Scheduler
 from ..statemachine.interface import OperationResult, StateMachine
 from ..util.ids import NodeId, Role
@@ -234,6 +235,36 @@ class ShardExecutionNode(ExecutionNode):
         self.cross_shard_epoch_aborts = 0
         self.cross_shard_replies_sent = 0
         self.vote_fetches = 0
+
+        # Observability (passive: never charges, never schedules).
+        self._h_vote_round = self.metrics.histogram("crossshard.vote_round_ms")
+        self._h_cut_install = self.metrics.histogram("rebalance.cut_install_ms")
+        self._c_handoff_bytes = self.metrics.counter("rebalance.handoff_bytes")
+        self._c_handoff_ranges = self.metrics.counter("rebalance.handoff_ranges")
+        self.metrics.register_probe("shardexec.state", self._shard_exec_probe)
+        #: vote-round open times keyed by transaction, cut-blocked times by epoch
+        self._vote_opened_at: Dict[TxnKey, float] = {}
+        self._cut_blocked_at: Dict[int, float] = {}
+
+    def _shard_exec_probe(self) -> dict:
+        """Snapshot of the shard replica's ad-hoc counters for the registry."""
+        return {
+            "shard": self.shard,
+            "epoch": self.epoch,
+            "misroutes": self.misroutes,
+            "stale_epoch_batches": self.stale_epoch_batches,
+            "epoch_cuts_applied": self.epoch_cuts_applied,
+            "ranges_sent": self.ranges_sent,
+            "ranges_installed": self.ranges_installed,
+            "range_fetches": self.range_fetches,
+            "cross_shard_executed": self.cross_shard_executed,
+            "cross_shard_commits": self.cross_shard_commits,
+            "cross_shard_aborts": self.cross_shard_aborts,
+            "cross_shard_epoch_aborts": self.cross_shard_epoch_aborts,
+            "cross_shard_replies_sent": self.cross_shard_replies_sent,
+            "vote_fetches": self.vote_fetches,
+            "awaiting_ranges": len(self._awaiting_ranges),
+        }
 
     # ------------------------------------------------------------------ #
     # Message dispatch.
@@ -549,6 +580,8 @@ class ShardExecutionNode(ExecutionNode):
                         moved.old_owner
             self.epoch = new_map.epoch
             self.epoch_cuts_applied += 1
+            if self._awaiting_ranges:
+                self._cut_blocked_at[self.epoch] = self.now
             self._prune_handoff_buffers()
         # The marker's bookkeeping matches any other batch: it advances the
         # shard-local sequence, is answered, and may fall on a checkpoint.
@@ -620,6 +653,9 @@ class ShardExecutionNode(ExecutionNode):
             self._resend_cross_shard(request.client, request.timestamp)
             return
         self.cross_shard_executed += 1
+        if self.tracing:
+            self.trace_event(request_trace_id(request.client, request.timestamp),
+                             "execute")
         pinned = operation.args.get("epoch")
         if pinned is not None and pinned != self.epoch:
             # The pinned epoch went stale under the operation (a rebalance
@@ -757,6 +793,10 @@ class ShardExecutionNode(ExecutionNode):
         self._xs_outbound_votes[key] = vote
         while len(self._xs_outbound_votes) > _VOTE_RETENTION:
             self._xs_outbound_votes.pop(next(iter(self._xs_outbound_votes)))
+        self._vote_opened_at[key] = self.now
+        if self.tracing:
+            self.trace_event(request_trace_id(request.client, request.timestamp),
+                             "vote_open")
         self.multicast(peers, vote)
 
     def handle_cross_shard_vote(self, sender: NodeId,
@@ -843,6 +883,13 @@ class ShardExecutionNode(ExecutionNode):
             self.cross_shard_commits += 1
         else:
             self.cross_shard_aborts += 1
+        opened_at = self._vote_opened_at.pop(key, None)
+        if opened_at is not None:
+            self._h_vote_round.observe(self.now - opened_at)
+        if self.tracing:
+            self.trace_event(
+                request_trace_id(pending.request.client,
+                                 pending.request.timestamp), "vote_done")
         self._awaiting_txn = None
         self._xs_votes.pop(key, None)
         self._xs_vote_data = {
@@ -981,6 +1028,9 @@ class ShardExecutionNode(ExecutionNode):
             sub_certificates=tuple(collation.full[shard]
                                    for shard in collation.touched),
             assembled=assembled, sender=self.node_id)
+        if self.tracing:
+            self.trace_event(request_trace_id(client, collation.timestamp),
+                             "collate")
         if self.shard == min(collation.touched):
             self.send(client, collation.reply)
             self.cross_shard_replies_sent += 1
@@ -1020,6 +1070,8 @@ class ShardExecutionNode(ExecutionNode):
         }
         self.multicast(targets, message)
         self.ranges_sent += 1
+        self._c_handoff_ranges.inc()
+        self._c_handoff_bytes.inc(len(entries) + len(reply_table))
 
     def handle_range_fetch(self, sender: NodeId, message: RangeFetch) -> None:
         """Re-serve a stored handoff to a gaining replica that missed it."""
@@ -1092,6 +1144,9 @@ class ShardExecutionNode(ExecutionNode):
                     installed = True
                     break
         if installed and not self._awaiting_ranges:
+            blocked_at = self._cut_blocked_at.pop(self.epoch, None)
+            if blocked_at is not None:
+                self._h_cut_install.observe(self.now - blocked_at)
             if self._deferred_checkpoint is not None:
                 seq = self._deferred_checkpoint
                 self._deferred_checkpoint = None

@@ -121,6 +121,28 @@ class ShardRouterQueue(MessageQueue):
         self.map_changes_rejected = 0
         self.cross_shard_markers = 0
 
+        # Observability (passive): time each batch spends buffered between
+        # staging (local commit) and release along the per-shard frontier.
+        self._staged_at: Dict[int, float] = {}
+        self._h_stall = owner.metrics.histogram("shardqueue.frontier_stall_ms")
+        self._c_released = owner.metrics.counter("shardqueue.batches_released")
+        self._g_staged = owner.metrics.gauge("shardqueue.staged_depth")
+        owner.metrics.register_probe("shardqueue.state", self._shard_probe)
+
+    def _shard_probe(self) -> dict:
+        """Snapshot of the router queue's ad-hoc counters and occupancy."""
+        return {
+            "epoch": self.epoch,
+            "epoch_cuts": self.epoch_cuts,
+            "map_changes_rejected": self.map_changes_rejected,
+            "cross_shard_markers": self.cross_shard_markers,
+            "misrouted_replies": self.misrouted_replies,
+            "routed_by_shard": list(self.routed_by_shard),
+            "shard_outstanding": [len(parts) for parts in self._unanswered],
+            "staged_depth": len(self._staged),
+            "load_window": self.load_window.snapshot(),
+        }
+
     # ------------------------------------------------------------------ #
     # LocalExecutor interface: routing agreed batches.
     # ------------------------------------------------------------------ #
@@ -157,12 +179,22 @@ class ShardRouterQueue(MessageQueue):
             seq=seq, view=view,
             request_certificates=tuple(request_certificates),
             agreement_certificate=agreement_certificate, nondet=nondet)
+        self._staged_at[seq] = self.owner.now
+        if self.owner.tracing:
+            self._trace_requests(tuple(request_certificates), "stage")
         while (self._released_seq + 1) in self._staged:
             self._released_seq += 1
             self._route_batch(self._staged.pop(self._released_seq))
+        self._g_staged.set(len(self._staged))
 
     def _route_batch(self, batch: OrderedBatch) -> None:
         """Advance the per-shard frontiers over one released batch."""
+        staged_at = self._staged_at.pop(batch.seq, None)
+        if staged_at is not None:
+            self._h_stall.observe(self.owner.now - staged_at)
+        self._c_released.inc()
+        if self.owner.tracing:
+            self._trace_requests(batch.request_certificates, "release")
         change = map_change_of(batch.request_certificates)
         if change is not None:
             # A map-change marker is routed to *every* cluster -- each one

@@ -93,6 +93,15 @@ class ShardLoadWindow:
         self.requests_by_cluster = [0] * self.num_clusters
         self.requests_by_key.clear()
 
+    def snapshot(self) -> dict:
+        """Window totals for the metrics registry's probes (keys elided --
+        only their count, so snapshots stay bounded under hot-key skew)."""
+        return {
+            "total": self.total,
+            "requests_by_cluster": list(self.requests_by_cluster),
+            "distinct_keys": len(self.requests_by_key),
+        }
+
 
 def split_point(window: ShardLoadWindow, pmap: PartitionMap,
                 range_index: int) -> Optional[str]:
@@ -149,6 +158,15 @@ class RebalanceController:
     @property
     def proposals(self) -> int:
         return self.splits_proposed + self.merges_proposed + self.moves_proposed
+
+    def snapshot(self) -> dict:
+        """Proposal counters for the metrics registry's probes."""
+        return {
+            "splits_proposed": self.splits_proposed,
+            "merges_proposed": self.merges_proposed,
+            "moves_proposed": self.moves_proposed,
+            "last_proposed_at_ms": self._last_proposed_at,
+        }
 
     def propose(self, window: ShardLoadWindow, pmap: PartitionMap,
                 now: float) -> Optional[MapChange]:

@@ -57,6 +57,20 @@ class ShardRouter:
         self.key_extractor: KeyExtractor = key_extractor or _no_key
         self.multi_key_extractor: MultiKeyExtractor = (multi_key_extractor
                                                        or _no_keys)
+        # Ad-hoc classification counters (the router instance is shared by
+        # every role of one system, so these are system-wide totals; they
+        # are surfaced through the observability hub's global probes).
+        self.single_shard_classified = 0
+        self.cross_shard_classified = 0
+
+    def snapshot(self) -> dict:
+        """Classification counters for the metrics registry's probes."""
+        return {
+            "num_shards": self.num_shards,
+            "latest_epoch": self.latest_epoch,
+            "single_shard_classified": self.single_shard_classified,
+            "cross_shard_classified": self.cross_shard_classified,
+        }
 
     @property
     def num_shards(self) -> int:
@@ -138,4 +152,9 @@ class ShardRouter:
         operation = request.operation
         if isinstance(operation, EncryptedBody):
             return False
-        return len(self.shards_of_operation_keys(operation, epoch)) > 1
+        cross = len(self.shards_of_operation_keys(operation, epoch)) > 1
+        if cross:
+            self.cross_shard_classified += 1
+        else:
+            self.single_shard_classified += 1
+        return cross

@@ -100,6 +100,7 @@ class ShardedSystem(SimulatedSystem):
         multi_key_extractor = getattr(app_factory, "extract_keys", None)
         self.router = ShardRouter(make_partitioner(config.sharding),
                                   key_extractor, multi_key_extractor)
+        self.obs.register_global_probe("shard_router", self.router.snapshot)
 
         self.agreement_ids = [agreement_id(i) for i in range(config.num_agreement_nodes)]
         self.shard_execution_ids: List[List[NodeId]] = [
@@ -183,8 +184,10 @@ class ShardedSystem(SimulatedSystem):
             if config.rebalance.enabled:
                 # Every replica hosts a rebalance controller (any of them
                 # may become primary); only the current primary proposes.
-                replica.attach_rebalancer(RebalanceController(config.rebalance),
-                                          queue.load_observation)
+                controller = RebalanceController(config.rebalance)
+                replica.attach_rebalancer(controller, queue.load_observation)
+                replica.metrics.register_probe("rebalance.controller",
+                                               controller.snapshot)
             self.message_queues.append(queue)
             self.agreement_replicas.append(replica)
             self.network.register(replica)

@@ -64,6 +64,13 @@ class Process:
         self.scheduler = scheduler
         self.network: Optional["Network"] = None
         self.stats = ProcessStats()
+        #: per-node instruments from the scheduler's observability hub (a
+        #: shared no-op registry when observability is disabled) plus the
+        #: system-wide tracer; ``self.tracing`` is cached so hot paths can
+        #: skip trace-id construction with one attribute test.
+        self.obs = scheduler.obs
+        self.metrics = self.obs.registry_for(node_id.name)
+        self.tracing = self.obs.tracer.enabled
         self.crashed = False
         self._busy_until = 0.0
         self._in_handler = False
@@ -209,6 +216,15 @@ class Process:
             delay, lambda: self.fire_timer(callback),
             label=label or f"{self.node_id}:timer",
         )
+
+    def trace_event(self, trace_id: str, event: str) -> None:
+        """Record a span event for ``trace_id`` at this node, now.
+
+        Pure observation -- no charge, no event, no RNG -- so calling it can
+        never perturb the simulation.  Callers on hot paths should guard
+        with ``if self.tracing`` to avoid building trace ids for nothing.
+        """
+        self.obs.tracer.record(trace_id, event, self.node_id.name, self.now)
 
     def crash(self) -> None:
         """Crash this node: it stops sending, receiving, and firing timers."""

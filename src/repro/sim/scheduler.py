@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..errors import LivenessTimeoutError, SimulationError
+from ..obs import DISABLED_HUB, ObservabilityHub
 from .clock import VirtualClock
 from .events import Event, EventQueue
 from .rand import DeterministicRandom
@@ -51,6 +52,11 @@ class Scheduler:
         self.clock = VirtualClock()
         self.queue = EventQueue()
         self.random = DeterministicRandom(seed)
+        #: observability hub processes pick their registries/tracer up from;
+        #: the system builder replaces this before constructing any process.
+        #: The hub only ever *observes* (no charges, events, or RNG draws),
+        #: so swapping it cannot change the simulation's virtual-time results.
+        self.obs: ObservabilityHub = DISABLED_HUB
         self._events_processed = 0
         self._running = False
 

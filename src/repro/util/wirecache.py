@@ -88,6 +88,18 @@ class WireCache:
         self.hits = 0
         self.misses = 0
 
+    def snapshot(self) -> dict:
+        """Hit/miss/occupancy counters for the metrics registry's probes."""
+        total = self.hits + self.misses
+        return {
+            "enabled": self.enabled,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+        }
+
     def configure(self, enabled: Optional[bool] = None,
                   capacity: Optional[int] = None) -> None:
         """Adjust the process-wide cache; disabling also drops all entries."""
