@@ -152,18 +152,147 @@ def validate_trace_file(path: Path) -> List[str]:
         return [f"{path}: {error}" for error in validate_trace_lines(handle)]
 
 
+#: the fuzz schedule genome's event vocabulary (mirrors repro.fuzz.schedule;
+#: kept literal here so producer drift cannot relax the artifact contract)
+SCHEDULE_EVENT_KINDS = frozenset({
+    "crash", "partition", "byzantine", "link_fault", "map_change",
+})
+
+#: top-level fields every fuzz schedule JSON must carry
+SCHEDULE_REQUIRED = {"scenario": str, "seed": int, "workload_seed": int,
+                     "num_requests": int, "events": list}
+
+#: top-level fields every FUZZ_REPORT_*.json (explore mode) must carry
+FUZZ_REPORT_REQUIRED = {"mode": str, "scenario": str, "seed": int,
+                        "runs": int, "coverage": int,
+                        "coverage_history": list, "corpus": list,
+                        "violations": list, "pass": bool}
+
+
+def validate_schedule(schedule: Dict) -> List[str]:
+    """Violations in a parsed fuzz schedule JSON (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(schedule, dict):
+        return ["schedule: not a JSON object"]
+    for field, kind in SCHEDULE_REQUIRED.items():
+        if field not in schedule:
+            errors.append(f"schedule: missing required field '{field}'")
+        elif not isinstance(schedule[field], kind) or \
+                isinstance(schedule[field], bool):
+            errors.append(f"schedule.{field}: expected {kind.__name__}, "
+                          f"got {type(schedule[field]).__name__}")
+    for index, event in enumerate(schedule.get("events") or []):
+        where = f"schedule.events[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        kind = event.get("kind")
+        if kind not in SCHEDULE_EVENT_KINDS:
+            errors.append(f"{where}: unknown event kind {kind!r}")
+        for field in ("at_ms", "duration_ms"):
+            value = event.get(field)
+            if not _is_number(value) or value < 0:
+                errors.append(f"{where}.{field}: missing, non-numeric, "
+                              "or negative")
+    return errors
+
+
+def validate_schedule_file(path: Path) -> List[str]:
+    if not path.exists():
+        return [f"{path}: does not exist"]
+    try:
+        schedule = json.loads(path.read_text())
+    except ValueError as error:
+        return [f"{path}: not valid JSON ({error})"]
+    return [f"{path}: {error}" for error in validate_schedule(schedule)]
+
+
+def validate_fuzz_report(report: Dict) -> List[str]:
+    """Violations in a parsed FUZZ_REPORT_*.json (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(report, dict):
+        return ["report: not a JSON object"]
+    for field, kind in FUZZ_REPORT_REQUIRED.items():
+        if field not in report:
+            errors.append(f"report: missing required field '{field}'")
+        elif kind is int and isinstance(report[field], bool):
+            errors.append(f"report.{field}: expected int, got bool")
+        elif not isinstance(report[field], kind):
+            errors.append(f"report.{field}: expected {kind.__name__}, "
+                          f"got {type(report[field]).__name__}")
+    if report.get("mode") not in (None, "explore", "corpus-regression",
+                                  "replay"):
+        errors.append(f"report.mode: unknown mode {report.get('mode')!r}")
+    history = report.get("coverage_history")
+    if isinstance(history, list):
+        last = 0
+        for index, value in enumerate(history):
+            if not _is_number(value):
+                errors.append(f"report.coverage_history[{index}]: "
+                              "not a number")
+                break
+            if value < last:
+                errors.append(f"report.coverage_history[{index}]: coverage "
+                              f"shrank ({value} after {last}) -- coverage "
+                              "is cumulative and must be non-decreasing")
+                break
+            last = value
+        if history and isinstance(report.get("coverage"), int) and \
+                history[-1] != report["coverage"]:
+            errors.append("report.coverage: does not match the last "
+                          "coverage_history entry")
+    for index, seed in enumerate(report.get("corpus") or []):
+        for error in validate_schedule(seed):
+            errors.append(f"report.corpus[{index}].{error}")
+        if len(errors) >= 20:
+            errors.append("... (further violations suppressed)")
+            break
+    for index, finding in enumerate(report.get("violations") or []):
+        where = f"report.violations[{index}]"
+        if not isinstance(finding, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        for field in ("schedule", "shrunk_schedule"):
+            if field in finding:
+                for error in validate_schedule(finding[field]):
+                    errors.append(f"{where}.{field}.{error}")
+        if "replays_bit_identically" in finding and \
+                not isinstance(finding["replays_bit_identically"], bool):
+            errors.append(f"{where}.replays_bit_identically: not a bool")
+    if report.get("violations") and report.get("pass") is True:
+        errors.append("report.pass: true despite recorded violations")
+    return errors
+
+
+def validate_fuzz_report_file(path: Path) -> List[str]:
+    if not path.exists():
+        return [f"{path}: does not exist"]
+    try:
+        report = json.loads(path.read_text())
+    except ValueError as error:
+        return [f"{path}: not valid JSON ({error})"]
+    return [f"{path}: {error}" for error in validate_fuzz_report(report)]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bench", type=Path, action="append", default=[],
                         help="BENCH_*.json file to validate (repeatable)")
     parser.add_argument("--trace", type=Path, action="append", default=[],
                         help="TRACE_*.jsonl file to validate (repeatable)")
+    parser.add_argument("--schedule", type=Path, action="append", default=[],
+                        help="fuzz schedule JSON to validate (repeatable)")
+    parser.add_argument("--fuzz-report", type=Path, action="append",
+                        default=[],
+                        help="FUZZ_REPORT_*.json file to validate "
+                             "(repeatable)")
     parser.add_argument("--allow-missing-critical-path", action="store_true",
                         help="accept BENCH files without a critical_path "
                              "section (obs-disabled runs)")
     args = parser.parse_args(argv)
-    if not args.bench and not args.trace:
-        parser.error("nothing to validate: pass --bench and/or --trace")
+    if not (args.bench or args.trace or args.schedule or args.fuzz_report):
+        parser.error("nothing to validate: pass --bench, --trace, "
+                     "--schedule, and/or --fuzz-report")
 
     errors: List[str] = []
     for path in args.bench:
@@ -171,9 +300,14 @@ def main(argv=None) -> int:
             path, require_critical_path=not args.allow_missing_critical_path))
     for path in args.trace:
         errors.extend(validate_trace_file(path))
+    for path in args.schedule:
+        errors.extend(validate_schedule_file(path))
+    for path in args.fuzz_report:
+        errors.extend(validate_fuzz_report_file(path))
     for error in errors:
         print(f"schema: {error}", file=sys.stderr)
-    checked = len(args.bench) + len(args.trace)
+    checked = (len(args.bench) + len(args.trace) + len(args.schedule) +
+               len(args.fuzz_report))
     if not errors:
         print(f"schema: {checked} artifact(s) valid")
     return 1 if errors else 0

@@ -8,23 +8,34 @@ node's internal bookkeeping intact:
 
 * :class:`CorruptReplyBehaviour` -- the node reports wrong results for every
   request it executes (an integrity attack the reply quorum must mask);
+* :class:`LyingReplyBehaviour` -- like :class:`CorruptReplyBehaviour`, but
+  the node *re-authenticates* the corrupted body with its own genuine keys.
+  This is the strongest reply attack the fault model admits: the lie carries
+  one valid authenticator, so only the ``g + 1`` quorum rule stands between
+  it and the client (the fuzzing harness uses it to prove a weakened quorum
+  check is exploitable);
 * :class:`LeakPlaintextBehaviour` -- the node strips the encryption from reply
   bodies it sends (a confidentiality attack the privacy firewall must stop --
   and will, because a tampered body no longer matches the ``g + 1`` quorum /
   threshold signature and is filtered);
 * :class:`SilentBehaviour` -- the node stops sending anything (a crash-like
   omission fault that exercises retransmission and quorum margins).
+
+Behaviours are *time-boundable*: :meth:`ByzantineBehaviour.uninstall` removes
+the tap again, so a fault schedule can make a node malicious for a window of
+virtual time and then heal it (see :class:`repro.faults.injector.FaultPlan`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Type
 
+from ..config import AuthenticationScheme
 from ..core.system import SimulatedSystem
 from ..messages.reply import BatchReply, BatchReplyBody, ClientReply, ReplyBody
 from ..messages.request import EncryptedBody
 from ..net.message import Message
+from ..net.network import DROP
 from ..statemachine.interface import OperationResult
 from ..util.ids import NodeId, Role
 
@@ -35,10 +46,21 @@ class ByzantineBehaviour:
     def __init__(self, node: NodeId) -> None:
         self.node = node
         self.messages_affected = 0
+        self.installed = False
 
     def install(self, system: SimulatedSystem) -> None:
         """Attach this behaviour to the system's network."""
+        if self.installed:
+            return
         system.network.add_tap(self._tap)
+        self.installed = True
+
+    def uninstall(self, system: SimulatedSystem) -> None:
+        """Detach this behaviour; the node behaves correctly again."""
+        if not self.installed:
+            return
+        system.network.remove_tap(self._tap)
+        self.installed = False
 
     def _tap(self, source: NodeId, destination: NodeId,
              message: Message) -> Optional[Message]:
@@ -50,31 +72,32 @@ class ByzantineBehaviour:
         return replacement
 
     def transform(self, destination: NodeId, message: Message) -> Optional[Message]:
-        """Return a replacement message, or None to leave it unchanged."""
+        """Return a replacement message, :data:`~repro.net.network.DROP` to
+        swallow it, or None to leave it unchanged."""
         raise NotImplementedError
 
 
 class SilentBehaviour(ByzantineBehaviour):
-    """The node's messages never reach the network (omission fault)."""
+    """The node's messages never reach the network (omission fault).
 
-    class _Dropped(Message):
-        def payload_fields(self):
-            return {"dropped": True}
-
-        def wire_size(self) -> int:
-            return 0
-
-    def install(self, system: SimulatedSystem) -> None:
-        # Simplest faithful implementation: crash the process, which silences
-        # it without altering its internal state.
-        system.network.process(self.node).crash()
+    Implemented as a drop-everything tap rather than a crash so that it can
+    be *time-bounded*: uninstalling the tap heals the node without having
+    touched its internal state, exactly like a transient network-interface
+    failure.
+    """
 
     def transform(self, destination: NodeId, message: Message) -> Optional[Message]:
-        return None
+        return DROP
 
 
 class CorruptReplyBehaviour(ByzantineBehaviour):
-    """Replace the results inside every reply this node sends."""
+    """Replace the results inside every reply this node sends.
+
+    The original certificate is kept, so the corruption is *detectable*:
+    no correct authenticator covers the tampered body and the reply
+    contributes zero valid signers at the client (see
+    :class:`LyingReplyBehaviour` for the re-signing variant).
+    """
 
     def __init__(self, node: NodeId, corrupt_value: object = "CORRUPTED") -> None:
         super().__init__(node)
@@ -88,7 +111,7 @@ class CorruptReplyBehaviour(ByzantineBehaviour):
             for reply in body.replies
         )
         return BatchReplyBody(view=body.view, seq=body.seq, replies=corrupted,
-                              shard=body.shard)
+                              shard=body.shard, epoch=body.epoch)
 
     def transform(self, destination: NodeId, message: Message) -> Optional[Message]:
         if isinstance(message, BatchReply):
@@ -99,6 +122,49 @@ class CorruptReplyBehaviour(ByzantineBehaviour):
             body = self._corrupt_body(message.body)
             reply = body.reply_for(message.reply.client) or message.reply
             return ClientReply(reply=reply, body=body, certificate=message.certificate)
+        return None
+
+
+class LyingReplyBehaviour(CorruptReplyBehaviour):
+    """Corrupt reply bodies *and* re-sign them with the node's own keys.
+
+    A Byzantine node may not break cryptography, but it may freely sign
+    whatever it likes with the keys it legitimately holds.  The resulting
+    reply carries exactly one valid authenticator -- the liar's -- so a
+    correct ``g + 1`` reply quorum masks it (at most ``g`` liars can never
+    outvote ``g + 1`` matching correct replies), while any implementation
+    that accepts fewer than ``g + 1`` matching authenticators is exposed.
+    Only MAC-vector deployments re-sign (threshold shares cannot be forged
+    for a tampered body by construction).
+    """
+
+    def __init__(self, node: NodeId, corrupt_value: object = "CORRUPTED") -> None:
+        super().__init__(node, corrupt_value)
+        self._crypto = None
+
+    def install(self, system: SimulatedSystem) -> None:
+        self._crypto = system.network.process(self.node).crypto
+        super().install(system)
+
+    def transform(self, destination: NodeId, message: Message) -> Optional[Message]:
+        if self._crypto is None:
+            return None
+        if isinstance(message, ClientReply):
+            if message.certificate.scheme is not AuthenticationScheme.MAC:
+                return None
+            body = self._corrupt_body(message.body)
+            reply = body.reply_for(message.reply.client) or message.reply
+            certificate = self._crypto.new_certificate(
+                body, AuthenticationScheme.MAC, [destination])
+            return ClientReply(reply=reply, body=body, certificate=certificate)
+        if isinstance(message, BatchReply):
+            if message.certificate.scheme is not AuthenticationScheme.MAC:
+                return None
+            body = self._corrupt_body(message.body)
+            certificate = self._crypto.new_certificate(
+                body, AuthenticationScheme.MAC, [destination])
+            return BatchReply(seq=message.seq, body=body,
+                              certificate=certificate, sender=message.sender)
         return None
 
 
@@ -115,13 +181,32 @@ class LeakPlaintextBehaviour(ByzantineBehaviour):
                                      timestamp=reply.timestamp, client=reply.client,
                                      result=result))
         return BatchReplyBody(view=body.view, seq=body.seq, replies=tuple(exposed),
-                              shard=body.shard)
+                              shard=body.shard, epoch=body.epoch)
 
     def transform(self, destination: NodeId, message: Message) -> Optional[Message]:
         if isinstance(message, BatchReply):
             return BatchReply(seq=message.seq, body=self._expose(message.body),
                               certificate=message.certificate, sender=message.sender)
         return None
+
+
+#: first-class strategy names, so fault schedules can reference behaviours
+#: declaratively (the fuzzing genome serialises the name, not the object)
+STRATEGIES: Dict[str, Type[ByzantineBehaviour]] = {
+    "silent": SilentBehaviour,
+    "corrupt_reply": CorruptReplyBehaviour,
+    "lying_reply": LyingReplyBehaviour,
+    "leak_plaintext": LeakPlaintextBehaviour,
+}
+
+
+def make_behaviour(strategy: str, node: NodeId) -> ByzantineBehaviour:
+    """Instantiate the named Byzantine strategy for ``node``."""
+    try:
+        return STRATEGIES[strategy](node)
+    except KeyError:
+        raise ValueError(f"unknown Byzantine strategy {strategy!r} "
+                         f"(known: {sorted(STRATEGIES)})") from None
 
 
 def make_byzantine(system: SimulatedSystem, behaviour: ByzantineBehaviour) -> ByzantineBehaviour:

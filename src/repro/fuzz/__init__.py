@@ -1,0 +1,83 @@
+"""Byzantine fuzzing: adversarial schedule search over the simulator.
+
+The deterministic simulator makes adversarial robustness *searchable*: a
+seed plus a :class:`FaultSchedule` fully determines an execution, so instead
+of sampling random fault timings the explorer mutates schedules toward novel
+protocol states (coverage = trace-edge + counter-bucket fingerprints),
+checks every execution against first-class invariant oracles, and shrinks
+any violation to a minimal schedule that replays bit-identically.
+
+Layers:
+
+* :mod:`repro.fuzz.schedule` -- the serialisable, mutatable schedule genome;
+* :mod:`repro.fuzz.oracles` -- exactly-once, reply-table-audit,
+  snapshot-consistency, and epoch-cut-safety oracles over a finished run;
+* :mod:`repro.fuzz.harness` -- scenario construction and schedule execution;
+* :mod:`repro.fuzz.explorer` -- the coverage-guided mutate/run/keep loop;
+* :mod:`repro.fuzz.shrink` -- violation minimisation;
+* :mod:`repro.fuzz.corpus` -- seed persistence and PR-time regression replay;
+* ``python -m repro.fuzz`` -- explore / replay / shrink / corpus-regression.
+"""
+
+from .schedule import EVENT_KINDS, FaultSchedule, ScheduleEvent
+from .oracles import (
+    DEFAULT_ORACLES,
+    EpochCutSafetyOracle,
+    ExactlyOnceOracle,
+    OracleViolation,
+    ReplyTableAuditOracle,
+    SnapshotConsistencyOracle,
+    run_oracles,
+)
+from .harness import (
+    SCENARIOS,
+    RunResult,
+    ScenarioSpec,
+    compute_fingerprint,
+    compute_replay_digest,
+    install_schedule,
+    run_schedule,
+    scenario,
+)
+from .explorer import ExploreReport, Finding, explore, mutate, seed_schedules
+from .shrink import ShrinkResult, shrink
+from .corpus import (
+    RegressionReport,
+    load_corpus,
+    replay_corpus,
+    save_corpus,
+    save_schedule,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "FaultSchedule",
+    "ScheduleEvent",
+    "DEFAULT_ORACLES",
+    "EpochCutSafetyOracle",
+    "ExactlyOnceOracle",
+    "OracleViolation",
+    "ReplyTableAuditOracle",
+    "SnapshotConsistencyOracle",
+    "run_oracles",
+    "SCENARIOS",
+    "RunResult",
+    "ScenarioSpec",
+    "compute_fingerprint",
+    "compute_replay_digest",
+    "install_schedule",
+    "run_schedule",
+    "scenario",
+    "ExploreReport",
+    "Finding",
+    "explore",
+    "mutate",
+    "seed_schedules",
+    "ShrinkResult",
+    "shrink",
+    "RegressionReport",
+    "load_corpus",
+    "replay_corpus",
+    "save_corpus",
+    "save_schedule",
+]

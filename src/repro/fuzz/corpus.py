@@ -1,0 +1,77 @@
+"""Corpus persistence and regression replay.
+
+A corpus is a directory of ``<digest-prefix>.json`` files, one per schedule
+that contributed novel coverage during an exploration campaign.  Nightly CI
+uploads the corpus as an artifact; interesting seeds get committed under
+``benchmarks/fuzz_corpus/`` and replayed on every PR (the
+``corpus-regression`` CLI mode), so a protocol change that re-breaks an
+invariant a past campaign exercised fails immediately instead of waiting for
+the next nightly campaign to rediscover it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List
+
+from .harness import RunResult, run_schedule
+from .schedule import FaultSchedule
+
+
+def save_schedule(directory: Path, schedule: FaultSchedule) -> Path:
+    """Write one corpus seed; the file name is its content digest."""
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{schedule.digest()[:12]}.json"
+    path.write_text(json.dumps(schedule.to_json_dict(), indent=2,
+                               sort_keys=True) + "\n")
+    return path
+
+
+def save_corpus(directory: Path, schedules: List[FaultSchedule]) -> List[Path]:
+    return [save_schedule(directory, schedule) for schedule in schedules]
+
+
+def load_corpus(directory: Path) -> List[FaultSchedule]:
+    """Load every seed in ``directory``, sorted by file name for stability."""
+    schedules: List[FaultSchedule] = []
+    for path in sorted(Path(directory).glob("*.json")):
+        schedules.append(FaultSchedule.from_json(path.read_text()))
+    return schedules
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of replaying a committed corpus."""
+
+    results: List[RunResult]
+    seeds: int
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def to_json_dict(self) -> Dict:
+        return {
+            "mode": "corpus-regression",
+            "seeds": self.seeds,
+            "violations": [violation.to_json_dict()
+                           for result in self.results
+                           for violation in result.violations],
+            "replays": [result.to_json_dict() for result in self.results],
+            "pass": self.ok,
+        }
+
+
+def replay_corpus(directory: Path, *, budget_ms: float = 8000.0,
+                  progress=None) -> RegressionReport:
+    """Replay every committed seed; any oracle violation is a regression."""
+    schedules = load_corpus(directory)
+    results: List[RunResult] = []
+    for index, schedule in enumerate(schedules):
+        result = run_schedule(schedule, budget_ms=budget_ms)
+        results.append(result)
+        if progress is not None:
+            progress(index + 1, len(schedules), result)
+    return RegressionReport(results=results, seeds=len(schedules))

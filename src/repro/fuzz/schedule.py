@@ -1,0 +1,165 @@
+"""The schedule genome: a serialisable, mutatable adversarial schedule.
+
+A :class:`FaultSchedule` unifies every fault-injection mechanism the
+simulator has grown -- :class:`~repro.faults.injector.FaultPlan` crash and
+partition events, :class:`~repro.faults.byzantine.ByzantineBehaviour` taps,
+:class:`~repro.net.faults.NetworkFaultModel` per-link overrides, and
+rebalance race timing -- into one declarative object.  Because the simulator
+is deterministic, the pair (schedule, harness version) fully determines an
+execution: schedules can be mutated, searched, shrunk, serialised into a
+corpus, and replayed bit-identically from a CI artifact.
+
+Nodes are referenced *symbolically* ("agreement:0", "execution:1:2",
+"client:0") so a schedule is meaningful independent of any constructed
+system; the harness resolves references against the scenario's topology at
+install time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Sequence, Tuple
+
+#: event kinds a schedule may contain
+EVENT_KINDS = ("crash", "partition", "byzantine", "link_fault", "map_change")
+
+#: map-change operations a schedule may request
+MAP_CHANGE_OPS = ("split", "merge")
+
+
+@dataclass(frozen=True)
+class ScheduleEvent:
+    """One genome gene: a windowed fault or a rebalance race trigger.
+
+    Only the fields relevant to ``kind`` are meaningful; the rest stay at
+    their defaults so every event serialises with one uniform shape:
+
+    * ``crash``: ``node`` crashes at ``at_ms``, recovers ``duration_ms``
+      later;
+    * ``partition``: the undirected ``a <-> b`` link is cut over the window;
+    * ``byzantine``: ``node`` runs Byzantine ``strategy`` over the window;
+    * ``link_fault``: the *directed* ``a -> b`` link gets the drop/delay/
+      duplicate/corrupt knobs over the window (asymmetric degradation);
+    * ``map_change``: at ``at_ms`` the current primary proposes ``op``
+      (split at ``key_index``'s key to cluster ``owner``, or merge of the
+      ``key_index``-th boundary), racing whatever else the schedule set up.
+    """
+
+    kind: str
+    at_ms: float
+    duration_ms: float = 0.0
+    node: str = ""
+    a: str = ""
+    b: str = ""
+    strategy: str = ""
+    drop: float = 0.0
+    delay_ms: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    op: str = ""
+    key_index: int = 0
+    owner: int = 0
+
+    def validate(self) -> List[str]:
+        """Structural problems with this event (empty = well-formed)."""
+        problems: List[str] = []
+        if self.kind not in EVENT_KINDS:
+            problems.append(f"unknown event kind {self.kind!r}")
+            return problems
+        if self.at_ms < 0 or self.duration_ms < 0:
+            problems.append(f"{self.kind}: negative time")
+        if self.kind == "crash" and not self.node:
+            problems.append("crash: missing node")
+        if self.kind == "byzantine" and (not self.node or not self.strategy):
+            problems.append("byzantine: missing node or strategy")
+        if self.kind in ("partition", "link_fault") and (not self.a or not self.b):
+            problems.append(f"{self.kind}: missing endpoints")
+        if self.kind == "link_fault":
+            for name in ("drop", "duplicate", "corrupt"):
+                if not 0.0 <= getattr(self, name) <= 1.0:
+                    problems.append(f"link_fault: {name} outside [0, 1]")
+            if self.delay_ms < 0:
+                problems.append("link_fault: negative delay")
+        if self.kind == "map_change" and self.op not in MAP_CHANGE_OPS:
+            problems.append(f"map_change: unknown op {self.op!r}")
+        return problems
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A complete adversarial schedule: scenario + seeds + event genome."""
+
+    scenario: str
+    seed: int = 0
+    workload_seed: int = 0
+    num_requests: int = 40
+    events: Tuple[ScheduleEvent, ...] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation (canonical JSON, so digests are stable).
+    # ------------------------------------------------------------------ #
+
+    def to_json_dict(self) -> Dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "workload_seed": self.workload_seed,
+            "num_requests": self.num_requests,
+            "events": [asdict(event) for event in self.events],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON form (sorted keys, no whitespace variance)."""
+        return json.dumps(self.to_json_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json_dict(cls, data: Dict) -> "FaultSchedule":
+        events = tuple(ScheduleEvent(**event) for event in data.get("events", []))
+        return cls(scenario=data["scenario"], seed=int(data.get("seed", 0)),
+                   workload_seed=int(data.get("workload_seed", 0)),
+                   num_requests=int(data.get("num_requests", 40)),
+                   events=events)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls.from_json_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """Content digest of the canonical form; names corpus seed files."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # Genome surgery (used by mutation and shrinking).
+    # ------------------------------------------------------------------ #
+
+    def with_events(self, events: Sequence[ScheduleEvent]) -> "FaultSchedule":
+        return replace(self, events=tuple(events))
+
+    def without_event(self, index: int) -> "FaultSchedule":
+        events = list(self.events)
+        del events[index]
+        return self.with_events(events)
+
+    def validate(self) -> List[str]:
+        """Structural problems with the whole schedule (empty = valid)."""
+        problems: List[str] = []
+        if not self.scenario:
+            problems.append("missing scenario")
+        if self.num_requests < 1:
+            problems.append("num_requests must be >= 1")
+        for index, event in enumerate(self.events):
+            problems.extend(f"event {index}: {problem}"
+                            for problem in event.validate())
+        return problems
+
+    def describe(self) -> str:
+        """One-line human summary (logs, CI failure messages)."""
+        kinds = {}
+        for event in self.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        genes = ", ".join(f"{count}x {kind}" for kind, count in sorted(kinds.items()))
+        return (f"{self.scenario} seed={self.seed} wl={self.workload_seed} "
+                f"reqs={self.num_requests} [{genes or 'no faults'}]")

@@ -10,7 +10,7 @@ degenerate model used by unit tests that want fully reliable delivery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..config import NetworkConfig
 from ..sim.rand import DeterministicRandom
@@ -31,6 +31,32 @@ class DeliveryPlan:
     dropped: bool
 
 
+@dataclass(frozen=True)
+class LinkFault:
+    """Targeted fault knobs for one *directed* ``(src, dst)`` link.
+
+    Unlike :meth:`NetworkFaultModel.partition` (which cuts both directions),
+    a link fault is asymmetric: ``set_link_fault(a, b, ...)`` degrades only
+    ``a -> b`` traffic, so schedules can express one-way partitions and
+    lossy or slow links without raising the global probabilities for every
+    node pair.
+    """
+
+    drop_probability: float = 0.0
+    extra_delay_ms: float = 0.0
+    duplicate_probability: float = 0.0
+    corrupt_probability: float = 0.0
+
+    def validate(self) -> None:
+        for name in ("drop_probability", "duplicate_probability",
+                     "corrupt_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"LinkFault.{name} must be in [0, 1]")
+        if self.extra_delay_ms < 0.0:
+            raise ValueError("LinkFault.extra_delay_ms must be >= 0")
+
+
 class NetworkFaultModel:
     """Stochastic unreliable-network behaviour."""
 
@@ -39,6 +65,7 @@ class NetworkFaultModel:
         self.config = config
         self.rng = rng
         self._partitioned: Set[frozenset] = set()
+        self._link_faults: Dict[Tuple[NodeId, NodeId], LinkFault] = {}
         self.stats_dropped = 0
         self.stats_duplicated = 0
         self.stats_corrupted = 0
@@ -64,6 +91,26 @@ class NetworkFaultModel:
         return frozenset((a, b)) in self._partitioned
 
     # ------------------------------------------------------------------ #
+    # Targeted per-link overrides (asymmetric faults).
+    # ------------------------------------------------------------------ #
+
+    def set_link_fault(self, src: NodeId, dst: NodeId, fault: LinkFault) -> None:
+        """Degrade the directed ``src -> dst`` link until cleared."""
+        fault.validate()
+        self._link_faults[(src, dst)] = fault
+
+    def clear_link_fault(self, src: NodeId, dst: NodeId) -> None:
+        """Restore the directed ``src -> dst`` link."""
+        self._link_faults.pop((src, dst), None)
+
+    def clear_link_faults(self) -> None:
+        """Restore every directed link."""
+        self._link_faults.clear()
+
+    def link_fault(self, src: NodeId, dst: NodeId) -> Optional[LinkFault]:
+        return self._link_faults.get((src, dst))
+
+    # ------------------------------------------------------------------ #
     # Per-message decisions.
     # ------------------------------------------------------------------ #
 
@@ -79,7 +126,9 @@ class NetworkFaultModel:
             self.stats_dropped += 1
             return DeliveryPlan(deliveries=[], dropped=True)
 
-        if self.rng.chance(self.config.drop_probability):
+        link = self._link_faults.get((source, destination))
+        if self.rng.chance(self.config.drop_probability) or (
+                link is not None and self.rng.chance(link.drop_probability)):
             self.stats_dropped += 1
             return DeliveryPlan(deliveries=[], dropped=True)
 
@@ -88,15 +137,22 @@ class NetworkFaultModel:
         if self.rng.chance(self.config.duplicate_probability):
             copies += 1
             self.stats_duplicated += 1
+        if link is not None and self.rng.chance(link.duplicate_probability):
+            copies += 1
+            self.stats_duplicated += 1
 
         deliveries: List[Tuple[float, Message]] = []
         for _ in range(copies):
             delay = self.base_delay(size)
+            if link is not None:
+                delay += link.extra_delay_ms
             if self.rng.chance(self.config.reorder_probability):
                 # Reordering is modelled as extra delay on this copy.
                 delay += self.rng.uniform(0.0, 4.0 * self.config.max_delay_ms)
             payload: Message = message
-            if self.rng.chance(self.config.corrupt_probability):
+            if self.rng.chance(self.config.corrupt_probability) or (
+                    link is not None
+                    and self.rng.chance(link.corrupt_probability)):
                 payload = CorruptedMessage(message.type_name(), size)
                 self.stats_corrupted += 1
             deliveries.append((delay, payload))
@@ -116,6 +172,11 @@ class PerfectNetworkFaults(NetworkFaultModel):
         if self.is_partitioned(source, destination):
             self.stats_dropped += 1
             return DeliveryPlan(deliveries=[], dropped=True)
+        link = self._link_faults.get((source, destination))
+        if link is not None:
+            # A targeted link fault turns this "perfect" link unreliable;
+            # route through the full stochastic path for it.
+            return super().plan(source, destination, message)
         delay = self.base_delay(message.wire_size())
         self.stats_delivered += 1
         return DeliveryPlan(deliveries=[(delay, message)], dropped=False)

@@ -30,11 +30,23 @@ class NetworkStats:
     deliveries: int = 0
     bytes_sent: int = 0
     drops_by_topology: int = 0
+    drops_by_tap: int = 0
     per_type: Dict[str, int] = field(default_factory=dict)
 
     def record_type(self, type_name: str) -> None:
         self.per_type[type_name] = self.per_type.get(type_name, 0) + 1
 
+
+class _DropSentinel:
+    """Returned by a tap to swallow a transmission entirely."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<DROP>"
+
+
+#: a tap returning this sentinel drops the message before the fault model
+#: sees it (used by omission-style Byzantine behaviours)
+DROP = _DropSentinel()
 
 MessageTap = Callable[[NodeId, NodeId, Message], Optional[Message]]
 
@@ -85,10 +97,23 @@ class Network:
         """Install an observer called for every send.
 
         The tap may return a replacement message (used by Byzantine network
-        experiments) or ``None`` to leave the message unchanged.  Taps see
-        messages *before* fault-model processing.
+        experiments), the :data:`DROP` sentinel to swallow the transmission,
+        or ``None`` to leave the message unchanged.  Taps see messages
+        *before* fault-model processing.
         """
         self._taps.append(tap)
+
+    def remove_tap(self, tap: MessageTap) -> None:
+        """Uninstall a previously added tap (no-op if absent).
+
+        Time-bounded Byzantine behaviours use this to heal: a node can be
+        malicious for a window of virtual time and then return to correct
+        behaviour.
+        """
+        try:
+            self._taps.remove(tap)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------ #
     # Sending.
@@ -103,8 +128,11 @@ class Network:
         """
         if self.enforce_topology:
             self.topology.check(source, destination)
-        for tap in self._taps:
+        for tap in list(self._taps):
             replacement = tap(source, destination, message)
+            if replacement is DROP:
+                self.stats.drops_by_tap += 1
+                return
             if replacement is not None:
                 message = replacement
         self.stats.sends += 1

@@ -1,0 +1,295 @@
+"""Byzantine fuzzing harness tests.
+
+Covers the schedule genome (serialisation, digests, mutation determinism),
+the per-link and time-bounded fault plumbing the schedules compile to, the
+invariant oracles, fixed regression schedules for the two named races
+(crash during a range handoff, partition during a cross-shard vote), the
+planted-bug acceptance demonstration (weakened reply quorum is found,
+shrunk, and replays bit-identically; the intact quorum masks the same
+attack), and the corpus/report artifact contracts CI relies on.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.apps.kvstore import KeyValueStore
+from repro.config import NetworkConfig
+from repro.faults import FaultInjector, FaultPlan, make_behaviour
+from repro.fuzz import (
+    ExactlyOnceOracle,
+    FaultSchedule,
+    ScheduleEvent,
+    explore,
+    load_corpus,
+    mutate,
+    replay_corpus,
+    run_schedule,
+    save_corpus,
+    save_schedule,
+    scenario,
+    seed_schedules,
+)
+from repro.net.faults import LinkFault, NetworkFaultModel
+from repro.net.message import CorruptedMessage
+from repro.sharding.system import ShardedSystem
+from repro.sim.rand import DeterministicRandom
+from repro.util.ids import agreement_id
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+import validate_schema  # noqa: E402  (benchmarks/ is not a package)
+
+
+#: the planted-bug attack: one replica lies (re-signs corrupted replies) for
+#: the whole run; g + 1 matching authenticators mask it, g accept it
+LYING_SCHEDULE = FaultSchedule(
+    scenario="sharded", seed=0, workload_seed=0, num_requests=30,
+    events=(ScheduleEvent(kind="byzantine", at_ms=0.0, duration_ms=440.0,
+                          node="execution:0:0", strategy="lying_reply"),))
+
+#: named race 1: a split fires, then the handoff source crashes mid-transfer
+CRASH_DURING_HANDOFF = FaultSchedule(
+    scenario="rebalance", seed=5, workload_seed=5, num_requests=30,
+    events=(ScheduleEvent(kind="map_change", at_ms=15.0, op="split",
+                          key_index=16, owner=1),
+            ScheduleEvent(kind="crash", at_ms=20.0, duration_ms=60.0,
+                          node="execution:0:0")))
+
+#: named race 2: an asymmetric partition cuts an agreement node off from a
+#: shard while cross-shard votes are being gathered
+PARTITION_DURING_VOTE = FaultSchedule(
+    scenario="crossshard", seed=3, workload_seed=3, num_requests=24,
+    events=(ScheduleEvent(kind="partition", at_ms=8.0, duration_ms=40.0,
+                          a="agreement:0", b="execution:1:0"),))
+
+
+class TestScheduleGenome:
+    def test_json_roundtrip_preserves_digest(self):
+        restored = FaultSchedule.from_json(CRASH_DURING_HANDOFF.to_json())
+        assert restored == CRASH_DURING_HANDOFF
+        assert restored.digest() == CRASH_DURING_HANDOFF.digest()
+
+    def test_digest_is_sensitive_to_every_gene(self):
+        base = LYING_SCHEDULE
+        assert base.without_event(0).digest() != base.digest()
+        reseeded = FaultSchedule(scenario=base.scenario, seed=base.seed + 1,
+                                 workload_seed=base.workload_seed,
+                                 num_requests=base.num_requests,
+                                 events=base.events)
+        assert reseeded.digest() != base.digest()
+
+    def test_validation_rejects_malformed_events(self):
+        bad_kind = FaultSchedule(
+            scenario="sharded",
+            events=(ScheduleEvent(kind="meteor", at_ms=0.0),))
+        assert bad_kind.validate()
+        negative = FaultSchedule(
+            scenario="sharded",
+            events=(ScheduleEvent(kind="crash", at_ms=-1.0,
+                                  node="execution:0:0"),))
+        assert negative.validate()
+        with pytest.raises(ValueError):
+            run_schedule(bad_kind)
+
+    def test_mutation_is_deterministic_and_valid(self):
+        spec = scenario("rebalance")
+        parent = seed_schedules("rebalance", num_requests=20)[-1]
+        mutants_a = []
+        rng = random.Random(42)
+        for _ in range(50):
+            parent = mutate(parent, rng, spec)
+            assert parent.validate() == []
+            mutants_a.append(parent.digest())
+        parent = seed_schedules("rebalance", num_requests=20)[-1]
+        rng = random.Random(42)
+        mutants_b = [
+            (parent := mutate(parent, rng, spec)).digest() for _ in range(50)]
+        assert mutants_a == mutants_b
+
+
+class TestFaultPlumbing:
+    def test_link_fault_is_directional(self):
+        """Satellite: (src, dst) overrides degrade only that direction."""
+        model = NetworkFaultModel(NetworkConfig(),
+                                  DeterministicRandom(0, "test-link"))
+        a, b = agreement_id(0), agreement_id(1)
+        model.set_link_fault(a, b, LinkFault(drop_probability=1.0))
+        message = CorruptedMessage("probe", 64)
+        assert model.plan(a, b, message).dropped
+        assert not model.plan(b, a, message).dropped
+        model.clear_link_fault(a, b)
+        assert not model.plan(a, b, message).dropped
+
+    def test_link_fault_adds_directed_delay(self):
+        model = NetworkFaultModel(NetworkConfig(min_delay_ms=0.1,
+                                                max_delay_ms=0.1),
+                                  DeterministicRandom(0, "test-delay"))
+        a, b = agreement_id(0), agreement_id(1)
+        model.set_link_fault(a, b, LinkFault(extra_delay_ms=50.0))
+        message = CorruptedMessage("probe", 64)
+        slow = model.plan(a, b, message).deliveries[0][0]
+        fast = model.plan(b, a, message).deliveries[0][0]
+        assert slow >= 50.0 > fast
+
+    def test_byzantine_window_installs_and_uninstalls(self):
+        """Satellite: behaviours attach at ``at_ms`` and detach at
+        ``until_ms`` in virtual time, not for the whole run."""
+        spec = scenario("sharded")
+        system = ShardedSystem(spec.make_config(), KeyValueStore, seed=0)
+        node = system.shard_execution_ids[0][0]
+        behaviour = make_behaviour("lying_reply", node)
+        injector = FaultInjector(system)
+        plan = FaultPlan()
+        plan.byzantine(behaviour, at_ms=10.0, until_ms=30.0)
+        injector.install(plan)
+        system.run(5.0)
+        assert not behaviour.installed
+        system.run(10.0)
+        assert behaviour.installed
+        assert behaviour in injector.active_behaviours
+        system.run(20.0)
+        assert not behaviour.installed
+        assert injector.active_behaviours == []
+
+
+class TestOracles:
+    def test_exactly_once_flags_duplicate_completion(self):
+        def record(timestamp):
+            return SimpleNamespace(
+                timestamp=timestamp,
+                result=SimpleNamespace(error=None, value="v"))
+
+        client = SimpleNamespace(node_id="C0",
+                                 completed=[record(1), record(1)],
+                                 cross_shard_completed=0)
+        violations = ExactlyOnceOracle().check(
+            SimpleNamespace(clients=[client]), completed_all=False)
+        assert any("twice" in v.detail for v in violations)
+
+    def test_exactly_once_flags_reordered_completions(self):
+        def record(timestamp):
+            return SimpleNamespace(
+                timestamp=timestamp,
+                result=SimpleNamespace(error=None, value="v"))
+
+        client = SimpleNamespace(node_id="C0",
+                                 completed=[record(2), record(1)],
+                                 cross_shard_completed=0)
+        violations = ExactlyOnceOracle().check(
+            SimpleNamespace(clients=[client]), completed_all=False)
+        assert any("order" in v.detail for v in violations)
+
+    def test_benign_run_passes_every_oracle(self):
+        result = run_schedule(FaultSchedule(scenario="sharded",
+                                            num_requests=20))
+        assert result.completed_all
+        assert result.violations == []
+
+
+class TestFixedSchedules:
+    def test_crash_during_range_handoff(self):
+        """The handoff source crashing mid-transfer must not lose state or
+        strand the new epoch; the run is bit-identically replayable."""
+        first = run_schedule(CRASH_DURING_HANDOFF)
+        assert first.completed_all
+        assert first.violations == []
+        assert first.stats["epoch"] >= 1
+        assert first.stats["handoffs"] >= 1
+        second = run_schedule(CRASH_DURING_HANDOFF)
+        assert second.replay_digest == first.replay_digest
+
+    def test_partition_during_cross_shard_vote(self):
+        """An asymmetric cut during vote gathering must delay, never split,
+        the cross-shard decision."""
+        first = run_schedule(PARTITION_DURING_VOTE)
+        assert first.completed_all
+        assert first.violations == []
+        second = run_schedule(PARTITION_DURING_VOTE)
+        assert second.replay_digest == first.replay_digest
+
+    def test_lying_replica_is_masked_by_intact_quorum(self):
+        result = run_schedule(LYING_SCHEDULE)
+        assert result.completed_all
+        assert result.violations == []
+
+    def test_lying_replica_caught_with_weakened_quorum(self):
+        result = run_schedule(LYING_SCHEDULE, weaken_reply_quorum=True)
+        assert any(v.oracle == "reply-table-audit"
+                   for v in result.violations)
+
+
+class TestExplorer:
+    def test_intact_campaign_is_clean_with_growing_coverage(self):
+        report = explore("sharded", budget=6, seed=1, num_requests=30)
+        assert report.findings == []
+        assert report.runs == 6
+        history = report.coverage_history
+        assert all(b >= a for a, b in zip(history, history[1:]))
+        assert history[-1] > history[0]
+        assert report.corpus  # novelty seeds were admitted
+        assert validate_schema.validate_fuzz_report(report.to_json_dict()) == []
+
+    def test_planted_bug_found_shrunk_and_replayed(self):
+        """Acceptance demonstration: with the g-instead-of-g+1 reply quorum
+        planted, the campaign finds a violation within budget, shrinks it,
+        and the shrunk schedule replays bit-identically."""
+        report = explore("sharded", budget=12, seed=1, num_requests=30,
+                         weaken_reply_quorum=True)
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert any(v.oracle == "reply-table-audit"
+                   for v in finding.run.violations)
+        assert finding.shrunk.result.violations
+        assert len(finding.shrunk.schedule.events) <= \
+            len(finding.run.schedule.events)
+        assert finding.replays_bit_identically
+        report_json = report.to_json_dict()
+        assert validate_schema.validate_fuzz_report(report_json) == []
+        assert report_json["pass"] is False
+
+
+class TestCorpusAndArtifacts:
+    def test_corpus_roundtrip_and_regression(self, tmp_path):
+        seeds = seed_schedules("sharded", num_requests=20)[:2]
+        paths = save_corpus(tmp_path, seeds)
+        assert len(paths) == len(seeds)
+        for path in paths:
+            assert validate_schema.validate_schedule_file(path) == []
+        assert load_corpus(tmp_path) == sorted(seeds,
+                                               key=lambda s: s.digest()[:12])
+        report = replay_corpus(tmp_path)
+        assert report.ok
+        assert report.seeds == len(seeds)
+
+    def test_save_schedule_is_idempotent(self, tmp_path):
+        first = save_schedule(tmp_path, LYING_SCHEDULE)
+        second = save_schedule(tmp_path, LYING_SCHEDULE)
+        assert first == second
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_schedule_schema_validator(self):
+        assert validate_schema.validate_schedule(
+            LYING_SCHEDULE.to_json_dict()) == []
+        broken = LYING_SCHEDULE.to_json_dict()
+        broken["events"][0]["kind"] = "meteor"
+        del broken["scenario"]
+        errors = validate_schema.validate_schedule(broken)
+        assert any("meteor" in e for e in errors)
+        assert any("scenario" in e for e in errors)
+
+    def test_fuzz_report_schema_validator_rejects_drift(self):
+        report = {"mode": "explore", "scenario": "sharded", "seed": 0,
+                  "runs": 2, "coverage": 30, "coverage_history": [31, 30],
+                  "corpus": [], "violations": [], "pass": True}
+        errors = validate_schema.validate_fuzz_report(report)
+        assert any("shrank" in e for e in errors)
+        report["coverage_history"] = [29, 30]
+        report["violations"] = [{"schedule": {"bogus": True}}]
+        errors = validate_schema.validate_fuzz_report(report)
+        assert any("pass" in e for e in errors)
