@@ -34,6 +34,7 @@ SCRIPTS: Dict[str, str] = {
     "skew": "bench_skew.py",
     "rebalance": "bench_rebalance.py",
     "crossshard": "bench_crossshard.py",
+    "failover": "bench_failover.py",
 }
 
 #: fields allowed to differ between the obs-on and obs-off runs, stripped at

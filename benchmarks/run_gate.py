@@ -49,6 +49,19 @@ def _rebalance_summary(results: Dict) -> str:
             f"{'ok' if results['safety']['exactly_once'] else 'VIOLATED'}")
 
 
+def _failover_summary(results: Dict) -> str:
+    attacks = results["failover"]["attacks"]
+    worst = max(
+        (attack["time_to_recover_ms"] for attack in attacks.values()
+         if attack["time_to_recover_ms"] is not None),
+        default=None)
+    missed = sum(1 for attack in attacks.values()
+                 if attack["time_to_recover_ms"] is None)
+    recover = "SLO missed" if missed else f"worst recover {worst:.0f} ms"
+    return (f"{len(attacks)} attacks, {recover}, safety "
+            f"{'ok' if results['safety']['safety_pass'] else 'VIOLATED'}")
+
+
 def _crossshard_summary(results: Dict) -> str:
     audit = results["audit"]
     return (f"mixed/single throughput ratio "
@@ -78,6 +91,11 @@ GATES: Dict[str, Dict] = {
         "script": "bench_crossshard.py",
         "baseline": "crossshard_baseline.json",
         "summary": _crossshard_summary,
+    },
+    "failover": {
+        "script": "bench_failover.py",
+        "baseline": "failover_baseline.json",
+        "summary": _failover_summary,
     },
 }
 

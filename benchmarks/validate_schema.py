@@ -37,10 +37,13 @@ REQUIRED_STAGES = ("admit", "batch", "agree", "release", "execute", "reply")
 #: per-stage summary fields, all numeric
 STAGE_FIELDS = ("samples", "mean_ms", "p50_ms", "p99_ms", "p999_ms", "max_ms")
 
-#: the tracer's event vocabulary (a trace line outside it is malformed)
+#: the tracer's event vocabulary (a trace line outside it is malformed);
+#: view_change_start/_end are span markers the agreement replicas emit when
+#: the ordering plane reconfigures mid-request
 TRACE_EVENTS = frozenset({
     "submit", "admit", "order", "commit", "stage", "release", "execute",
     "vote_open", "vote_done", "collate", "reply",
+    "view_change_start", "view_change_end",
 })
 
 

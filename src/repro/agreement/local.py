@@ -54,11 +54,29 @@ class LocalExecutor(ABC):
         Used by the agreement cluster's checkpoint protocol.  The message
         queue's durable state at a checkpoint is fully determined by ``seq``
         (its reply cache is explicitly excluded from checkpoints), so the
-        default digests the sequence number alone.
+        digest covers the sequence number plus whatever transferable
+        frontier state :meth:`checkpoint_sync_state` ships with the vote.
+        """
+        return self.sync_state_digest(seq, self.checkpoint_sync_state(seq))
+
+    def sync_state_digest(self, seq: int,
+                          sync_state: Tuple[Tuple[str, object], ...]) -> bytes:
+        """Digest binding a checkpoint cut to its transferable state.
+
+        The hosting replica uses this to validate the ``sync_state`` carried
+        by a peer's checkpoint vote against the quorum-certified digest
+        before adopting it in a state transfer -- a Byzantine replica can
+        claim the right digest but cannot forge state that matches it.
         """
         from ..crypto.digest import digest
 
-        return digest({"local-state-at": seq})
+        return digest({"local-state-at": seq, "sync": sync_state})
+
+    def checkpoint_sync_state(self, seq: int) -> Tuple[Tuple[str, object], ...]:
+        """Transferable frontier state at the checkpoint cut (key/value
+        pairs).  Deterministic across correct replicas at the same cut; the
+        default executor carries none."""
+        return ()
 
     def highest_ready_seq(self) -> Optional[int]:
         """Highest sequence number for which a reply is known.
@@ -91,3 +109,13 @@ class LocalExecutor(ABC):
 
     def on_stable_checkpoint(self, seq: int) -> None:
         """Notification that the agreement cluster's checkpoint at ``seq`` is stable."""
+
+    def sync_to_checkpoint(self, seq: int,
+                           sync_state: Tuple[Tuple[str, object], ...]) -> None:
+        """The hosting replica state-transferred its delivery frontier to a
+        stable checkpoint at ``seq``; batches at or below it that were never
+        delivered locally will never arrive.  ``sync_state`` is the
+        digest-verified :meth:`checkpoint_sync_state` a correct replica
+        shipped with its checkpoint vote.  Executors with release frontiers
+        of their own must adopt it and skip the gap (the default executor
+        has none, so this is a no-op)."""

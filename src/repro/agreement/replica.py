@@ -24,7 +24,7 @@ that an agreed ordering survives a faulty primary.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..config import AuthenticationScheme, SystemConfig
 from ..crypto.certificate import Certificate
@@ -99,6 +99,8 @@ class AgreementReplica(Process):
         self.metrics.register_probe("agreement.state", lambda: {
             "view": self.view,
             "view_changes_completed": self.view_changes_completed,
+            "primaries_deposed": self.primaries_deposed,
+            "checkpoint_syncs": self.checkpoint_syncs,
             "cross_shard_ordered": self.cross_shard_ordered,
             "rtt_ewma_ms": self._rtt_ewma,
             "cert_cache_hits": self.crypto.cache.hits if self.crypto.cache else 0,
@@ -145,12 +147,30 @@ class AgreementReplica(Process):
         self._view_change_votes: Dict[int, Dict[NodeId, ViewChange]] = {}
         self._view_changing = False
         self._target_view = 0
+        #: consecutive failed view-change escalations since the last
+        #: NEW-VIEW (drives the exponential escalation backoff)
+        self._view_change_attempts = 0
+        #: recently-deposed primaries: node -> last view through which the
+        #: local target selection skips it
+        self._deposed_until: Dict[NodeId, int] = {}
+        #: censorship-resistant request path master switch.  Test-only: the
+        #: fuzz harness clears it to plant the "censoring primary never
+        #: triggers forwarding or a view change" liveness bug the
+        #: bounded-progress oracle must catch.  Never clear it elsewhere.
+        self.request_liveness_defence = True
+        #: digest-verified transferable frontier state from checkpoint votes,
+        #: keyed by (seq, state_digest); consulted on checkpoint state
+        #: transfer, pruned as checkpoints stabilise
+        self._checkpoint_sync_states: Dict[Tuple[int, bytes],
+                                           Tuple[Tuple[str, Any], ...]] = {}
 
         # Statistics used by benchmarks.
         self.batches_delivered = 0
         self.requests_delivered = 0
         self.view_changes_completed = 0
         self.cross_shard_ordered = 0
+        self.primaries_deposed = 0
+        self.checkpoint_syncs = 0
 
     # ------------------------------------------------------------------ #
     # Role helpers.
@@ -159,6 +179,34 @@ class AgreementReplica(Process):
     def primary_of(self, view: int) -> NodeId:
         """The primary replica for ``view`` (round-robin rotation)."""
         return self.agreement_ids[view % len(self.agreement_ids)]
+
+    def next_view_target(self, from_view: int) -> int:
+        """The view this replica votes for when abandoning ``from_view``.
+
+        Normally ``from_view + 1``, but with
+        :attr:`~repro.config.SystemConfig.skip_deposed_primaries` the scan
+        advances past views whose round-robin primary was recently deposed,
+        so a chronically slow or censoring leader cannot recapture the view
+        the moment its successor stumbles.  The scan is bounded to one full
+        rotation: if every candidate is deposed, liveness beats placement
+        and the immediate successor is used.
+        """
+        target = from_view + 1
+        if not self.config.skip_deposed_primaries:
+            return target
+        for candidate in range(target, target + len(self.agreement_ids)):
+            if self._deposed_until.get(self.primary_of(candidate), -1) < candidate:
+                return candidate
+        return target
+
+    def _note_deposed(self, primary: NodeId, abandoned_view: int) -> None:
+        """Skip ``primary`` in target selection for one full rotation."""
+        if not self.config.skip_deposed_primaries:
+            return
+        until = abandoned_view + len(self.agreement_ids)
+        if self._deposed_until.get(primary, -1) < until:
+            self._deposed_until[primary] = until
+            self.primaries_deposed += 1
 
     @property
     def is_primary(self) -> bool:
@@ -309,7 +357,7 @@ class AgreementReplica(Process):
         self._arm_request_deadline(request)
         if self.is_primary:
             self.maybe_make_batch()
-        else:
+        elif self.request_liveness_defence:
             # Forward to the primary so a request sent to a backup still makes
             # progress (Castro-Liskov optimisation); the deadline timer
             # triggers a view change if the primary never orders it.
@@ -342,6 +390,8 @@ class AgreementReplica(Process):
         ]
 
     def _arm_request_deadline(self, request: ClientRequest) -> None:
+        if not self.request_liveness_defence:
+            return
         key = (request.client, request.timestamp)
         if key in self._request_deadlines and self._request_deadlines[key].active:
             return
@@ -365,7 +415,7 @@ class AgreementReplica(Process):
         client, timestamp = key
         if self.ordered_timestamp.get(client, -1) >= timestamp:
             return
-        self.start_view_change(self.view + 1)
+        self.start_view_change(self.next_view_target(self.view))
 
     # ------------------------------------------------------------------ #
     # Primary: batching and PRE-PREPARE.
@@ -724,7 +774,7 @@ class AgreementReplica(Process):
         if entry.pre_prepare is not None:
             if entry.pre_prepare.batch_digest != message.batch_digest:
                 # Equivocating primary: trigger a view change.
-                self.start_view_change(self.view + 1)
+                self.start_view_change(self.next_view_target(self.view))
             return
         if not self._validate_batch(message):
             return
@@ -968,15 +1018,27 @@ class AgreementReplica(Process):
     # ------------------------------------------------------------------ #
 
     def _emit_checkpoint(self, seq: int) -> None:
+        sync_state = self.local.checkpoint_sync_state(seq)
         digest = self.local.checkpoint_digest(seq)
-        message = AgreementCheckpoint(seq=seq, state_digest=digest, replica=self.node_id)
+        message = AgreementCheckpoint(seq=seq, state_digest=digest,
+                                      replica=self.node_id,
+                                      sync_state=sync_state)
         self.log.add_checkpoint_vote(seq, self.node_id, digest)
+        self._checkpoint_sync_states[(seq, digest)] = sync_state
         self.multicast(self.agreement_ids, message)
         self._try_stable(seq, digest)
 
     def handle_checkpoint(self, sender: NodeId, message: AgreementCheckpoint) -> None:
         if sender != message.replica or sender not in self.agreement_ids:
             return
+        key = (message.seq, message.state_digest)
+        if key not in self._checkpoint_sync_states and message.seq > self.log.stable_seq:
+            # Keep the vote's transferable state only if it re-derives the
+            # claimed digest: a Byzantine replica can echo the certified
+            # digest but cannot forge frontier state that hashes to it.
+            expected = self.local.sync_state_digest(message.seq, message.sync_state)
+            if expected == message.state_digest:
+                self._checkpoint_sync_states[key] = message.sync_state
         self.log.add_checkpoint_vote(message.seq, sender, message.state_digest)
         self._try_stable(message.seq, message.state_digest)
 
@@ -985,7 +1047,37 @@ class AgreementReplica(Process):
             return
         if self.log.checkpoint_support(seq, digest) >= 2 * self.f + 1:
             self.log.mark_stable(seq)
+            if seq > self.log.last_delivered_seq:
+                self._sync_to_checkpoint(seq, digest)
             self.local.on_stable_checkpoint(seq)
+            self._checkpoint_sync_states = {
+                key: state for key, state in self._checkpoint_sync_states.items()
+                if key[0] > seq
+            }
+
+    def _sync_to_checkpoint(self, seq: int, state_digest: bytes) -> None:
+        """State transfer: jump a stranded delivery frontier to a stable cut.
+
+        A quorum certified the checkpoint at ``seq``, so every batch up to
+        it committed and was answered by correct replicas; this replica
+        missed some of them (an equivocating primary fed it conflicting
+        pre-prepares, or it fell behind past the watermark window) and can
+        no longer replay them once the quorum garbage-collected the
+        entries.  Adopt the checkpoint instead: advance the delivery
+        frontier, hand the local queue the digest-verified frontier state a
+        checkpoint vote carried (the 2f+1 quorum contains at least f+1
+        correct voters, so a verified copy always arrived), and drop armed
+        request deadlines -- a genuinely starved request re-arms on the
+        client's next retransmission.
+        """
+        self.log.last_delivered_seq = seq
+        self.next_seq = max(self.next_seq, seq + 1)
+        self.checkpoint_syncs += 1
+        sync_state = self._checkpoint_sync_states.get((seq, state_digest), ())
+        self.local.sync_to_checkpoint(seq, sync_state)
+        for timer in self._request_deadlines.values():
+            timer.cancel()
+        self._request_deadlines.clear()
 
     # ------------------------------------------------------------------ #
     # View changes.
@@ -995,8 +1087,16 @@ class AgreementReplica(Process):
         """Vote to move to ``new_view`` (carrying prepared-batch evidence)."""
         if new_view <= self.view and self._target_view >= new_view:
             return
+        if not self._view_changing:
+            # Abandoning a live view: its primary failed us (timeout,
+            # censorship, or equivocation) -- skip it for a rotation.
+            self._note_deposed(self.primary_of(self.view), self.view)
+        previous_target = self._target_view if self._view_changing else self.view
         self._view_changing = True
         self._target_view = max(self._target_view, new_view)
+        if self.tracing and self._target_view > previous_target:
+            self.trace_event(f"view-change:{self._target_view}",
+                             "view_change_start")
         prepared = tuple(
             PreparedProof(view=entry.view, seq=entry.seq,
                           batch_digest=entry.pre_prepare.batch_digest,
@@ -1010,15 +1110,29 @@ class AgreementReplica(Process):
                           prepared=prepared, replica=self.node_id)
         self._record_view_change(self.node_id, vote)
         self.multicast(self.agreement_ids, vote)
-        # Escalate if the view change itself stalls.
-        self.set_timer(self.config.timers.view_change_ms * 2,
+        # Escalate if the view change itself stalls, backing off
+        # exponentially so cascading view changes under a long partition
+        # re-vote ever less often instead of thrashing.
+        self.set_timer(self._escalation_delay_ms(),
                        lambda: self._on_view_change_timeout(self._target_view),
                        label=f"{self.node_id}:view-change-escalate")
+
+    def _escalation_delay_ms(self) -> float:
+        """Backed-off re-vote delay for the current escalation attempt."""
+        timers = self.config.timers
+        delay = timers.view_change_ms * (
+            timers.view_change_backoff ** (self._view_change_attempts + 1))
+        return min(delay, max(timers.view_change_backoff_cap_ms,
+                              timers.view_change_ms))
 
     def _on_view_change_timeout(self, attempted_view: int) -> None:
         if self.view >= attempted_view:
             return
-        self.start_view_change(attempted_view + 1)
+        # The attempted view's candidate failed to assemble a NEW-VIEW in
+        # time: depose it too, and escalate past it with a longer fuse.
+        self._view_change_attempts += 1
+        self._note_deposed(self.primary_of(attempted_view), attempted_view)
+        self.start_view_change(self.next_view_target(attempted_view))
 
     def handle_view_change(self, sender: NodeId, message: ViewChange) -> None:
         if sender != message.replica or sender not in self.agreement_ids:
@@ -1053,13 +1167,37 @@ class AgreementReplica(Process):
                 current = best.get(proof.seq)
                 if current is None or proof.view > current.view:
                     best[proof.seq] = proof
-        pre_prepares = tuple(
+        # Re-proposals start at the latest stable checkpoint among the votes
+        # (PBFT's min-s) -- NOT at this primary's own delivered frontier.
+        # An equivocating old primary can leave replicas stranded behind
+        # holes the rest of the group long since delivered; only re-running
+        # agreement from the checkpoint lets those laggards catch up, clear
+        # their request deadlines, and stop escalating view changes.
+        # Replicas that already delivered a re-proposed batch still vote for
+        # it but skip re-execution (see _adopt_new_view_batches).
+        pre_prepares = [
             PrePrepare(view=view, seq=proof.seq, batch_digest=proof.batch_digest,
                        requests=proof.requests, nondet=proof.nondet,
                        primary=self.node_id)
             for proof in (best[s] for s in sorted(best))
-            if proof.seq > self.log.last_delivered_seq
-        )
+            if proof.seq > min_stable
+        ]
+        # Fill sequence holes with null batches.  A hole is a sequence number
+        # no vote reported prepared: by quorum intersection it cannot have
+        # committed anywhere, yet in-order delivery would wait on it forever
+        # (a censoring primary that *dropped* a pre-prepare leaves exactly
+        # this gap).  An empty batch is agreed through the normal three
+        # phases and releases as a vacuous slot downstream.
+        floor = min_stable
+        for seq in range(floor + 1, max(best, default=floor)):
+            if seq in best:
+                continue
+            digest = self._batch_digest(())
+            pre_prepares.append(PrePrepare(
+                view=view, seq=seq, batch_digest=digest, requests=(),
+                nondet=self.nondet.propose(self.now, seed=digest),
+                primary=self.node_id))
+        pre_prepares = tuple(sorted(pre_prepares, key=lambda p: p.seq))
         new_view = NewView(view=view,
                            view_change_replicas=tuple(sorted(r.name for r in votes)),
                            pre_prepares=pre_prepares, primary=self.node_id)
@@ -1082,9 +1220,12 @@ class AgreementReplica(Process):
         self._adopt_new_view_batches(message.pre_prepares)
 
     def _enter_view(self, view: int) -> None:
+        if self.tracing:
+            self.trace_event(f"view-change:{view}", "view_change_end")
         self.view = view
         self._view_changing = False
         self._target_view = view
+        self._view_change_attempts = 0
         self.view_changes_completed += 1
         self.next_seq = max(self.next_seq, self.log.last_delivered_seq + 1)
         # Proposals of the old view may have been discarded by the view
@@ -1110,9 +1251,13 @@ class AgreementReplica(Process):
 
     def _adopt_new_view_batches(self, pre_prepares: Tuple[PrePrepare, ...]) -> None:
         for pre_prepare in pre_prepares:
-            if pre_prepare.seq <= self.log.last_delivered_seq:
-                continue
             entry = self.log.entry(pre_prepare.view, pre_prepare.seq)
+            if pre_prepare.seq <= self.log.last_delivered_seq:
+                # Already delivered here: vote so laggards can assemble the
+                # prepare/commit quorums they need to catch up, but mark the
+                # slot consumed so commit never re-executes it locally.
+                entry.staged = True
+                entry.delivered = True
             if entry.pre_prepare is None:
                 entry.pre_prepare = pre_prepare
             if self._is_config_batch(pre_prepare.requests):

@@ -500,12 +500,24 @@ class TimerConfig:
     agreement_retransmit_ms: float = 60.0
     execution_fetch_ms: float = 40.0
     view_change_ms: float = 400.0
+    #: multiplier applied per failed view-change attempt: the k-th
+    #: escalation re-votes after ``view_change_ms * view_change_backoff**k``
+    #: so cascading view changes under a long partition don't thrash
+    view_change_backoff: float = 2.0
+    #: upper bound on the escalation delay; a cap below ``view_change_ms``
+    #: is treated as ``view_change_ms`` (the backoff never undercuts the
+    #: base timer)
+    view_change_backoff_cap_ms: float = 6400.0
     batch_timeout_ms: float = 1.0
 
     def validate(self) -> None:
         for fld in dataclasses.fields(self):
             if getattr(self, fld.name) <= 0:
                 raise ConfigurationError(f"timer {fld.name} must be positive")
+        if self.view_change_backoff < 1.0:
+            raise ConfigurationError(
+                "view_change_backoff must be at least 1.0 (a shrinking "
+                "escalation timer would thrash under a long partition)")
 
 
 @dataclass(frozen=True)
@@ -550,6 +562,12 @@ class SystemConfig:
     #: queue sends a newly inserted batch towards the execution cluster; the
     #: other agreement nodes send only if their retransmission timer expires.
     primary_sends_first: bool = True
+    #: view-change target selection skips primaries deposed within the last
+    #: full rotation, so a chronically slow or censoring leader cannot
+    #: immediately recapture the view.  A liveness heuristic only: the
+    #: ``f + 1`` join rule still converges replicas that disagree on the
+    #: skip, and safety never depends on which view is chosen.
+    skip_deposed_primaries: bool = True
     app_processing_ms: float = 0.0
     crypto: CryptoCosts = field(default_factory=CryptoCosts)
     network: NetworkConfig = field(default_factory=NetworkConfig)

@@ -21,6 +21,24 @@ node's internal bookkeeping intact:
 * :class:`SilentBehaviour` -- the node stops sending anything (a crash-like
   omission fault that exercises retransmission and quorum margins).
 
+The *ordering-plane* attacks target a Byzantine **primary** -- the three
+classic ways a leader can hurt a PBFT-style protocol without forging anyone
+else's credentials:
+
+* :class:`EquivocatingPrimaryBehaviour` -- proposes *conflicting* batches at
+  the same ``(view, seq)`` to disjoint backup subsets (a safety attack the
+  ``2f + 1`` commit quorum must mask: no two conflicting batches can both
+  gather quorums, and the equivocation evidence triggers a view change);
+* :class:`CensoringPrimaryBehaviour` -- silently strips targeted clients'
+  requests out of every batch it proposes (a targeted liveness attack the
+  censorship-resistant request path must defeat: backups' per-request
+  deadlines escalate to a view change and the next primary orders the
+  starved requests);
+* :class:`SlowPrimaryBehaviour` -- delays every ordering message to just
+  under the view-change timeout (the classic *performance* attack: never
+  slow enough to be deposed by the timer alone, which is why primary
+  selection skips recently-deposed leaders).
+
 Behaviours are *time-boundable*: :meth:`ByzantineBehaviour.uninstall` removes
 the tap again, so a fault schedule can make a node malicious for a window of
 virtual time and then heal it (see :class:`repro.faults.injector.FaultPlan`).
@@ -28,10 +46,11 @@ virtual time and then heal it (see :class:`repro.faults.injector.FaultPlan`).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Type
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from ..config import AuthenticationScheme
 from ..core.system import SimulatedSystem
+from ..messages.agreement import PrePrepare
 from ..messages.reply import BatchReply, BatchReplyBody, ClientReply, ReplyBody
 from ..messages.request import EncryptedBody
 from ..net.message import Message
@@ -190,6 +209,169 @@ class LeakPlaintextBehaviour(ByzantineBehaviour):
         return None
 
 
+class EquivocatingPrimaryBehaviour(ByzantineBehaviour):
+    """Propose conflicting batches at the same ``(view, seq)``.
+
+    Half of the backups (by position in the agreement roster) receive the
+    primary's genuine PRE-PREPARE; the other half receive a *forged* variant
+    -- same view and sequence number, different batch, digest recomputed
+    with the primary's own (legitimately held) crypto.  Neither variant can
+    gather a ``2f + 1`` commit quorum while the split persists, and any
+    backup that sees both digests for one slot has proof of equivocation
+    and votes for a view change.  Safety must hold throughout: conflicting
+    values never commit (the fuzz oracles and the failover benchmark check
+    exactly this).
+    """
+
+    def __init__(self, node: NodeId) -> None:
+        super().__init__(node)
+        self._crypto = None
+        self._agreement_ids: List[NodeId] = []
+        #: forged variant per slot, so every victim of one slot sees the
+        #: *same* lie (a per-destination lie would just be noise)
+        self._forged: Dict[Tuple[int, int], Optional[PrePrepare]] = {}
+        #: a request certificate from an earlier batch, used to fabricate a
+        #: conflicting single-request batch
+        self._seen_cert = None
+
+    def install(self, system: SimulatedSystem) -> None:
+        self._crypto = system.network.process(self.node).crypto
+        self._agreement_ids = list(system.agreement_ids)
+        super().install(system)
+
+    def _batch_digest(self, requests) -> bytes:
+        return self._crypto.digest({
+            "batch": [self._crypto.payload_digest(cert.payload)
+                      for cert in requests],
+        })
+
+    def _forge(self, message: PrePrepare) -> Optional[PrePrepare]:
+        key = (message.view, message.seq)
+        if key not in self._forged:
+            requests = None
+            if len(message.requests) > 1:
+                requests = tuple(reversed(message.requests))
+            elif (self._seen_cert is not None
+                  and self._seen_cert.payload is not message.requests[0].payload):
+                requests = (self._seen_cert,)
+            if requests is None:
+                self._forged[key] = None
+            else:
+                self._forged[key] = PrePrepare(
+                    view=message.view, seq=message.seq,
+                    batch_digest=self._batch_digest(requests),
+                    requests=requests, nondet=message.nondet,
+                    primary=message.primary)
+        return self._forged[key]
+
+    def transform(self, destination: NodeId, message: Message) -> Optional[Message]:
+        if not isinstance(message, PrePrepare) or self._crypto is None:
+            return None
+        if destination not in self._agreement_ids:
+            return None
+        forged = None
+        if self._agreement_ids.index(destination) % 2 == 1:
+            forged = self._forge(message)
+        if message.requests:
+            self._seen_cert = message.requests[0]
+        return forged
+
+
+class CensoringPrimaryBehaviour(ByzantineBehaviour):
+    """Never order the targeted clients' requests.
+
+    The primary strips every targeted request certificate out of the batches
+    it proposes (recomputing the digest with its own crypto, so the batch is
+    otherwise well-formed) and drops the PRE-PREPARE entirely when nothing
+    is left.  Untargeted traffic flows normally -- the attack is invisible
+    to aggregate throughput, which is precisely why the defence needs
+    *per-request* deadlines at the backups rather than a global progress
+    check.  Config operations (no ``client`` field) are never censored.
+    """
+
+    def __init__(self, node: NodeId,
+                 targets: Optional[Sequence[NodeId]] = None) -> None:
+        super().__init__(node)
+        self.targets = tuple(targets) if targets is not None else None
+        self._crypto = None
+
+    def install(self, system: SimulatedSystem) -> None:
+        self._crypto = system.network.process(self.node).crypto
+        if self.targets is None:
+            # Default victim: the first client -- a single starved client is
+            # the sharpest liveness probe (aggregate progress stays healthy).
+            self.targets = tuple(system.client_ids[:1])
+        super().install(system)
+
+    def _batch_digest(self, requests) -> bytes:
+        return self._crypto.digest({
+            "batch": [self._crypto.payload_digest(cert.payload)
+                      for cert in requests],
+        })
+
+    def transform(self, destination: NodeId, message: Message) -> Optional[Message]:
+        if not isinstance(message, PrePrepare) or self._crypto is None:
+            return None
+        kept = tuple(
+            cert for cert in message.requests
+            if getattr(cert.payload, "client", None) not in self.targets
+        )
+        if len(kept) == len(message.requests):
+            return None
+        if not kept:
+            return DROP
+        return PrePrepare(view=message.view, seq=message.seq,
+                          batch_digest=self._batch_digest(kept),
+                          requests=kept, nondet=message.nondet,
+                          primary=message.primary)
+
+
+class SlowPrimaryBehaviour(ByzantineBehaviour):
+    """Delay every PRE-PREPARE to just under the view-change timeout.
+
+    The classic performance attack: the primary stays *just* responsive
+    enough that no backup's timer ever fires, yet throughput collapses to
+    one batch per almost-timeout.  Taps cannot delay a message in place, so
+    the behaviour swallows the PRE-PREPARE and re-injects it through the
+    scheduler after ``delay_fraction x view_change_ms``; the re-injected
+    copy is recognised (by identity) and passed through.  Uninstalling the
+    behaviour lets any still-queued re-injections flow harmlessly.
+    """
+
+    def __init__(self, node: NodeId, delay_fraction: float = 0.8) -> None:
+        super().__init__(node)
+        self.delay_fraction = delay_fraction
+        self._system: Optional[SimulatedSystem] = None
+        self._delay_ms = 0.0
+        #: re-injected (message identity, destination) pairs that must pass
+        #: through the tap untouched exactly once
+        self._released: Dict[Tuple[int, NodeId], int] = {}
+
+    def install(self, system: SimulatedSystem) -> None:
+        self._system = system
+        self._delay_ms = self.delay_fraction * system.config.timers.view_change_ms
+        super().install(system)
+
+    def _release(self, destination: NodeId, message: Message) -> None:
+        key = (id(message), destination)
+        self._released[key] = self._released.get(key, 0) + 1
+        self._system.network.send(self.node, destination, message)
+
+    def transform(self, destination: NodeId, message: Message) -> Optional[Message]:
+        if not isinstance(message, PrePrepare) or self._system is None:
+            return None
+        key = (id(message), destination)
+        if self._released.get(key, 0) > 0:
+            self._released[key] -= 1
+            if not self._released[key]:
+                del self._released[key]
+            return None
+        self._system.scheduler.call_after(
+            self._delay_ms, lambda: self._release(destination, message),
+            label=f"{self.node.name}:slow-primary-release")
+        return DROP
+
+
 #: first-class strategy names, so fault schedules can reference behaviours
 #: declaratively (the fuzzing genome serialises the name, not the object)
 STRATEGIES: Dict[str, Type[ByzantineBehaviour]] = {
@@ -197,6 +379,9 @@ STRATEGIES: Dict[str, Type[ByzantineBehaviour]] = {
     "corrupt_reply": CorruptReplyBehaviour,
     "lying_reply": LyingReplyBehaviour,
     "leak_plaintext": LeakPlaintextBehaviour,
+    "equivocating_primary": EquivocatingPrimaryBehaviour,
+    "censoring_primary": CensoringPrimaryBehaviour,
+    "slow_primary": SlowPrimaryBehaviour,
 }
 
 

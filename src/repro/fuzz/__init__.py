@@ -22,10 +22,13 @@ Layers:
 from .schedule import EVENT_KINDS, FaultSchedule, ScheduleEvent
 from .oracles import (
     DEFAULT_ORACLES,
+    BoundedProgressOracle,
     EpochCutSafetyOracle,
     ExactlyOnceOracle,
+    NoProgressDetector,
     OracleViolation,
     ReplyTableAuditOracle,
+    RunContext,
     SnapshotConsistencyOracle,
     run_oracles,
 )
@@ -54,10 +57,13 @@ __all__ = [
     "FaultSchedule",
     "ScheduleEvent",
     "DEFAULT_ORACLES",
+    "BoundedProgressOracle",
     "EpochCutSafetyOracle",
     "ExactlyOnceOracle",
+    "NoProgressDetector",
     "OracleViolation",
     "ReplyTableAuditOracle",
+    "RunContext",
     "SnapshotConsistencyOracle",
     "run_oracles",
     "SCENARIOS",

@@ -47,6 +47,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
     report = explore(args.scenario, budget=args.budget, seed=args.seed,
                      num_requests=args.num_requests,
                      weaken_reply_quorum=args.weaken_reply_quorum,
+                     disable_forwarding_defence=args.disable_forwarding_defence,
                      time_box_s=args.time_box_s,
                      progress=progress if args.verbose else None)
     if args.corpus_dir:
@@ -69,8 +70,9 @@ def cmd_explore(args: argparse.Namespace) -> int:
 
 def cmd_replay(args: argparse.Namespace) -> int:
     schedule = _load_schedule(args.schedule)
-    result = run_schedule(schedule,
-                          weaken_reply_quorum=args.weaken_reply_quorum)
+    result = run_schedule(
+        schedule, weaken_reply_quorum=args.weaken_reply_quorum,
+        disable_forwarding_defence=args.disable_forwarding_defence)
     if args.out:
         _write_json(Path(args.out), {"mode": "replay",
                                      **result.to_json_dict(),
@@ -88,8 +90,9 @@ def cmd_shrink(args: argparse.Namespace) -> int:
     schedule = _load_schedule(args.schedule)
 
     def run(candidate: FaultSchedule):
-        return run_schedule(candidate,
-                            weaken_reply_quorum=args.weaken_reply_quorum)
+        return run_schedule(
+            candidate, weaken_reply_quorum=args.weaken_reply_quorum,
+            disable_forwarding_defence=args.disable_forwarding_defence)
 
     shrunk = shrink(schedule, run=run)
     out = Path(args.out or str(args.schedule) + ".shrunk")
@@ -140,6 +143,11 @@ def main(argv=None) -> int:
     p_explore.add_argument("--weaken-reply-quorum", action="store_true",
                            help="TEST ONLY: plant the g-instead-of-g+1 reply "
                                 "quorum bug the campaign should find")
+    p_explore.add_argument("--disable-forwarding-defence", action="store_true",
+                           help="TEST ONLY: plant the censoring-primary "
+                                "liveness bug (no backup forwarding or "
+                                "request deadlines) the bounded-progress "
+                                "oracle should find")
     p_explore.add_argument("--verbose", action="store_true")
     p_explore.set_defaults(func=cmd_explore)
 
@@ -147,12 +155,14 @@ def main(argv=None) -> int:
     p_replay.add_argument("schedule", type=Path)
     p_replay.add_argument("--out", default=None)
     p_replay.add_argument("--weaken-reply-quorum", action="store_true")
+    p_replay.add_argument("--disable-forwarding-defence", action="store_true")
     p_replay.set_defaults(func=cmd_replay)
 
     p_shrink = sub.add_parser("shrink", help="minimise a violating schedule")
     p_shrink.add_argument("schedule", type=Path)
     p_shrink.add_argument("--out", default=None)
     p_shrink.add_argument("--weaken-reply-quorum", action="store_true")
+    p_shrink.add_argument("--disable-forwarding-defence", action="store_true")
     p_shrink.set_defaults(func=cmd_shrink)
 
     p_reg = sub.add_parser("corpus-regression",

@@ -30,6 +30,11 @@ from .shrink import ShrinkResult, shrink
 #: which is also the demotion order the shrinker walks)
 MUTATION_STRATEGIES = ("silent", "corrupt_reply", "lying_reply")
 
+#: ordering-plane strategies: only meaningful on an agreement node (they
+#: transform PRE-PREPAREs), so mutations target them separately
+PRIMARY_STRATEGIES = ("slow_primary", "censoring_primary",
+                      "equivocating_primary")
+
 
 def time_horizon_ms(num_requests: int) -> float:
     """Virtual-time horizon mutated event times are drawn from.
@@ -62,10 +67,17 @@ def random_event(rng: random.Random, spec: ScenarioSpec,
         return ScheduleEvent(kind="partition", at_ms=at_ms,
                              duration_ms=duration, a=a, b=b)
     if kind == "byzantine":
-        node = rng.choice(refs["execution"])
+        # Pick the strategy first: reply attacks need an execution node,
+        # ordering-plane attacks an agreement node (a primary attack tap on
+        # an execution node would never see a PRE-PREPARE).
+        strategy = rng.choice(MUTATION_STRATEGIES + PRIMARY_STRATEGIES)
+        if strategy in PRIMARY_STRATEGIES:
+            node = rng.choice(refs["agreement"])
+        else:
+            node = rng.choice(refs["execution"])
         return ScheduleEvent(kind="byzantine", at_ms=at_ms,
                              duration_ms=duration, node=node,
-                             strategy=rng.choice(MUTATION_STRATEGIES))
+                             strategy=strategy)
     if kind == "link_fault":
         a, b = rng.sample(refs["all"], 2)
         return ScheduleEvent(
@@ -73,7 +85,8 @@ def random_event(rng: random.Random, spec: ScenarioSpec,
             drop=round(rng.choice([0.0, 0.3, 0.7, 1.0]), 2),
             delay_ms=round(rng.choice([0.0, 5.0, 25.0, 100.0]), 1),
             duplicate=round(rng.choice([0.0, 0.0, 0.5]), 2),
-            corrupt=round(rng.choice([0.0, 0.0, 0.3]), 2))
+            corrupt=round(rng.choice([0.0, 0.0, 0.3]), 2),
+            reorder=round(rng.choice([0.0, 0.0, 0.4]), 2))
     return ScheduleEvent(kind="map_change", at_ms=at_ms,
                          op=rng.choice(["split", "merge"]),
                          key_index=rng.randrange(64),
@@ -100,7 +113,8 @@ def mutate(schedule: FaultSchedule, rng: random.Random,
                               1),
             node=event.node, a=event.a, b=event.b, strategy=event.strategy,
             drop=event.drop, delay_ms=event.delay_ms,
-            duplicate=event.duplicate, corrupt=event.corrupt, op=event.op,
+            duplicate=event.duplicate, corrupt=event.corrupt,
+            reorder=event.reorder, op=event.op,
             key_index=event.key_index, owner=event.owner)
     elif roll < 0.85:
         index = rng.randrange(len(events))
@@ -208,11 +222,25 @@ def seed_schedules(scenario_name: str, num_requests: int) -> List[FaultSchedule]
             ScheduleEvent(kind="crash", at_ms=20.0, duration_ms=horizon,
                           node=refs["execution"][0]),
         ]))
+    # Ordering-plane archetypes (appended last so earlier campaigns' run
+    # ordering -- and the planted-bug discovery points -- stay stable):
+    # attack the initial primary directly.
+    archetypes.extend([
+        base.with_events([ScheduleEvent(kind="byzantine", at_ms=0.0,
+                                        duration_ms=4.0 * horizon,
+                                        node=refs["agreement"][0],
+                                        strategy="equivocating_primary")]),
+        base.with_events([ScheduleEvent(kind="byzantine", at_ms=0.0,
+                                        duration_ms=4.0 * horizon,
+                                        node=refs["agreement"][0],
+                                        strategy="censoring_primary")]),
+    ])
     return archetypes
 
 
 def explore(scenario_name: str, *, budget: int = 50, seed: int = 0,
             num_requests: int = 40, weaken_reply_quorum: bool = False,
+            disable_forwarding_defence: bool = False,
             time_box_s: Optional[float] = None,
             run_budget_ms: float = 8000.0,
             progress=None) -> ExploreReport:
@@ -234,8 +262,10 @@ def explore(scenario_name: str, *, budget: int = 50, seed: int = 0,
     time_boxed = False
 
     def run_one(schedule: FaultSchedule) -> RunResult:
-        return run_schedule(schedule, weaken_reply_quorum=weaken_reply_quorum,
-                            budget_ms=run_budget_ms)
+        return run_schedule(
+            schedule, weaken_reply_quorum=weaken_reply_quorum,
+            disable_forwarding_defence=disable_forwarding_defence,
+            budget_ms=run_budget_ms)
 
     queue = seed_schedules(scenario_name, num_requests)
     runs = 0

@@ -41,7 +41,12 @@ from ..sharding.messages import MapChange
 from ..sharding.system import ShardedSystem
 from ..workloads.crossshard import mixed_cross_shard_operations, seed_operations
 from ..workloads.skew import equal_range_boundaries, skew_key
-from .oracles import OracleViolation, run_oracles
+from .oracles import (
+    NoProgressDetector,
+    OracleViolation,
+    RunContext,
+    run_oracles,
+)
 from .schedule import FaultSchedule, ScheduleEvent
 
 #: key space every scenario partitions (matches the skew/rebalance workloads)
@@ -272,7 +277,8 @@ def install_schedule(system: ShardedSystem,
             fault = LinkFault(drop_probability=event.drop,
                               extra_delay_ms=event.delay_ms,
                               duplicate_probability=event.duplicate,
-                              corrupt_probability=event.corrupt)
+                              corrupt_probability=event.corrupt,
+                              reorder_probability=event.reorder)
             until = (event.at_ms + event.duration_ms
                      if event.duration_ms > 0 else None)
             plan.link_fault(src, dst, fault, at_ms=event.at_ms, until_ms=until)
@@ -293,6 +299,12 @@ def _system_counters(system: ShardedSystem) -> Dict[str, int]:
         "epoch": registry.latest_epoch if registry is not None else 0,
         "epoch_cuts": sum(queue.epoch_cuts for queue in system.message_queues),
         "view": max(replica.view for replica in system.agreement_replicas),
+        "view_changes": sum(replica.view_changes_completed
+                            for replica in system.agreement_replicas),
+        "deposed": sum(replica.primaries_deposed
+                       for replica in system.agreement_replicas),
+        "checkpoint_syncs": sum(replica.checkpoint_syncs
+                                for replica in system.agreement_replicas),
         "retransmissions": sum(client.retransmissions
                                for client in system.clients),
         "misrouted": sum(client.misrouted_replies for client in system.clients),
@@ -380,6 +392,7 @@ def compute_replay_digest(system: ShardedSystem, completed_all: bool) -> str:
 
 def run_schedule(schedule: FaultSchedule, *,
                  weaken_reply_quorum: bool = False,
+                 disable_forwarding_defence: bool = False,
                  budget_ms: float = 8000.0,
                  settle_ms: float = 2000.0) -> RunResult:
     """Execute one schedule end-to-end and audit the result.
@@ -389,6 +402,12 @@ def run_schedule(schedule: FaultSchedule, *,
     authenticators instead of ``g + 1``, which a single re-signing liar
     (:class:`~repro.faults.byzantine.LyingReplyBehaviour`) can then satisfy.
     It must never be set outside the planted-bug demonstration.
+
+    ``disable_forwarding_defence`` is the liveness twin: it switches off the
+    censorship-resistant request path at every agreement backup (no request
+    forwarding, no per-request deadlines escalating to a view change), so a
+    censoring or silent primary starves requests forever -- the planted bug
+    the :class:`~repro.fuzz.oracles.BoundedProgressOracle` must catch.
     """
     problems = schedule.validate()
     if problems:
@@ -399,6 +418,9 @@ def run_schedule(schedule: FaultSchedule, *,
     if weaken_reply_quorum:
         for client in system.clients:
             client.reply_quorum = config.g  # test-only planted bug
+    if disable_forwarding_defence:
+        for replica in system.agreement_replicas:
+            replica.request_liveness_defence = False  # test-only planted bug
 
     # Fault-free seed phase: scenario setup operations complete before any
     # schedule event installs, so event times are anchored at the start of
@@ -419,28 +441,40 @@ def run_schedule(schedule: FaultSchedule, *,
     def done() -> bool:
         return system.total_completed() >= expected
 
+    detector = NoProgressDetector()
+    detector.sample(system.now, system.total_completed())
     elapsed = 0.0
     while elapsed < budget_ms and not done():
         system.run(50.0)
         elapsed += 50.0
+        detector.sample(system.now, system.total_completed())
     # Quiesce: recover everything, heal everything, end every Byzantine
     # window -- then give retransmissions room to finish and recovered
     # replicas time to catch up through state transfer (the fixed window
     # runs even when every reply already arrived, so post-fault recovery
     # machinery is part of every run's observable behaviour).
     injector.heal_all()
+    healed_at = system.now
     system.run(200.0)
     settled = 200.0
+    detector.sample(system.now, system.total_completed())
     while settled < settle_ms and not done():
         system.run(50.0)
         settled += 50.0
+        detector.sample(system.now, system.total_completed())
     completed = system.total_completed()
     completed_all = completed >= expected
 
-    violations = run_oracles(system, completed_all=completed_all)
+    context = RunContext(healed_at_ms=healed_at, final_time_ms=system.now,
+                         expected=expected, completed=completed)
+    violations = run_oracles(system, completed_all=completed_all,
+                             context=context)
+    stats = _system_counters(system)
+    stats["longest_stall_ms"] = int(detector.longest_stall_ms)
     return RunResult(
         schedule=schedule, completed=completed, expected=expected,
         completed_all=completed_all, violations=violations,
-        fingerprint=compute_fingerprint(system),
+        fingerprint=compute_fingerprint(system) | {
+            f"ctr:stall:{_bucket(int(detector.longest_stall_ms))}"},
         replay_digest=compute_replay_digest(system, completed_all),
-        final_time_ms=system.now, stats=_system_counters(system))
+        final_time_ms=system.now, stats=stats)

@@ -24,6 +24,15 @@ as *incomplete* by the harness, not as an oracle violation.
   workload audit);
 * :class:`EpochCutSafetyOracle` -- every role's partition-map epoch cursor
   points into the agreed, contiguous map history.
+
+Safety oracles flag states; *liveness* needs a time reference -- a run that
+has not finished yet is not a violation unless it had every chance to.
+:class:`RunContext` carries that reference (when the last fault healed, when
+the run ended), and :class:`BoundedProgressOracle` uses it to demand that
+every request submitted before quiescence completes within a bounded horizon
+after the last fault heals.  :class:`NoProgressDetector` is the mid-campaign
+companion: sampled by the harness's drive loop, it records the longest
+interval with zero completions, a coverage signal and a stall diagnostic.
 """
 
 from __future__ import annotations
@@ -33,6 +42,22 @@ from typing import List, Optional
 
 from ..util.ids import Role
 from ..workloads.crossshard import audit_snapshot_consistency
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Per-run facts liveness oracles need that the system cannot know.
+
+    ``healed_at_ms`` is the virtual time the harness healed the last fault
+    (crash recovery, partition heal, Byzantine uninstall); ``final_time_ms``
+    is when the run ended; ``expected``/``completed`` count the requests
+    submitted before quiescence and those that finished.
+    """
+
+    healed_at_ms: float = 0.0
+    final_time_ms: float = 0.0
+    expected: int = 0
+    completed: int = 0
 
 
 @dataclass(frozen=True)
@@ -51,7 +76,8 @@ class Oracle:
 
     name = "oracle"
 
-    def check(self, system, *, completed_all: bool = True) -> List[OracleViolation]:
+    def check(self, system, *, completed_all: bool = True,
+              context: Optional[RunContext] = None) -> List[OracleViolation]:
         raise NotImplementedError
 
     def _violation(self, detail: str) -> OracleViolation:
@@ -77,7 +103,8 @@ class ExactlyOnceOracle(Oracle):
 
     name = "exactly-once"
 
-    def check(self, system, *, completed_all: bool = True) -> List[OracleViolation]:
+    def check(self, system, *, completed_all: bool = True,
+              context: Optional[RunContext] = None) -> List[OracleViolation]:
         violations: List[OracleViolation] = []
         total_remote = 0
         for client in system.clients:
@@ -132,7 +159,8 @@ class ReplyTableAuditOracle(Oracle):
 
     name = "reply-table-audit"
 
-    def check(self, system, *, completed_all: bool = True) -> List[OracleViolation]:
+    def check(self, system, *, completed_all: bool = True,
+              context: Optional[RunContext] = None) -> List[OracleViolation]:
         violations: List[OracleViolation] = []
         clusters = getattr(system, "shard_execution_nodes", None)
         if clusters is None:
@@ -222,7 +250,8 @@ class SnapshotConsistencyOracle(Oracle):
 
     name = "snapshot-consistency"
 
-    def check(self, system, *, completed_all: bool = True) -> List[OracleViolation]:
+    def check(self, system, *, completed_all: bool = True,
+              context: Optional[RunContext] = None) -> List[OracleViolation]:
         audit = audit_snapshot_consistency(system.clients)
         violations: List[OracleViolation] = []
         if audit.torn_reads:
@@ -248,7 +277,8 @@ class EpochCutSafetyOracle(Oracle):
 
     name = "epoch-cut-safety"
 
-    def check(self, system, *, completed_all: bool = True) -> List[OracleViolation]:
+    def check(self, system, *, completed_all: bool = True,
+              context: Optional[RunContext] = None) -> List[OracleViolation]:
         router = getattr(system, "router", None)
         if router is None:
             return []
@@ -287,15 +317,78 @@ class EpochCutSafetyOracle(Oracle):
         return violations
 
 
+class BoundedProgressOracle(Oracle):
+    """Every request submitted before quiescence completes within a bounded
+    horizon after the last fault heals.
+
+    This is the liveness property the censorship-resistant request path
+    exists to guarantee: once the network is reliable again and every
+    Byzantine window has closed, retransmission fan-out, backup forwarding,
+    and view-change escalation must drive every outstanding request to
+    completion.  A run that is merely *slow* is not flagged -- only one
+    that was given at least ``horizon_ms`` of healed time and still left
+    requests starving.  Without a :class:`RunContext` the oracle is inert
+    (a plain safety battery cannot judge liveness).
+    """
+
+    name = "bounded-progress"
+
+    def __init__(self, horizon_ms: float = 1500.0) -> None:
+        self.horizon_ms = horizon_ms
+
+    def check(self, system, *, completed_all: bool = True,
+              context: Optional[RunContext] = None) -> List[OracleViolation]:
+        if context is None or completed_all:
+            return []
+        healed_for = context.final_time_ms - context.healed_at_ms
+        if healed_for < self.horizon_ms:
+            return []
+        return [self._violation(
+            f"{context.expected - context.completed} of {context.expected} "
+            f"requests still incomplete {healed_for:.0f}ms after the last "
+            f"fault healed (liveness horizon: {self.horizon_ms:.0f}ms) -- "
+            "the censorship-resistant request path failed to restore "
+            "progress")]
+
+
+class NoProgressDetector:
+    """Mid-run stall tracker: the longest interval with zero completions.
+
+    The harness's drive loop calls :meth:`sample` once per step; the
+    detector records the longest span of virtual time during which the
+    completed count did not move.  It is a *detector*, not an oracle: a
+    long stall during an active fault window is expected, so the value
+    feeds the coverage fingerprint and the run stats (where the explorer
+    can see "this schedule produced a 3s blackout") rather than directly
+    raising violations.
+    """
+
+    def __init__(self) -> None:
+        self._last_completed: Optional[int] = None
+        self._stall_started_ms = 0.0
+        self.longest_stall_ms = 0.0
+
+    def sample(self, now_ms: float, completed: int) -> None:
+        if self._last_completed is None or completed > self._last_completed:
+            self._last_completed = completed
+            self._stall_started_ms = now_ms
+            return
+        self.longest_stall_ms = max(self.longest_stall_ms,
+                                    now_ms - self._stall_started_ms)
+
+
 #: the default oracle battery the harness runs after every schedule
 DEFAULT_ORACLES = (ExactlyOnceOracle(), ReplyTableAuditOracle(),
-                   SnapshotConsistencyOracle(), EpochCutSafetyOracle())
+                   SnapshotConsistencyOracle(), EpochCutSafetyOracle(),
+                   BoundedProgressOracle())
 
 
 def run_oracles(system, *, completed_all: bool = True,
+                context: Optional[RunContext] = None,
                 oracles=DEFAULT_ORACLES) -> List[OracleViolation]:
     """Run every oracle; returns all violations (empty = invariants hold)."""
     violations: List[OracleViolation] = []
     for oracle in oracles:
-        violations.extend(oracle.check(system, completed_all=completed_all))
+        violations.extend(oracle.check(system, completed_all=completed_all,
+                                       context=context))
     return violations

@@ -41,7 +41,9 @@ class ScheduleEvent:
     * ``partition``: the undirected ``a <-> b`` link is cut over the window;
     * ``byzantine``: ``node`` runs Byzantine ``strategy`` over the window;
     * ``link_fault``: the *directed* ``a -> b`` link gets the drop/delay/
-      duplicate/corrupt knobs over the window (asymmetric degradation);
+      duplicate/corrupt/reorder knobs over the window (asymmetric
+      degradation; ``reorder`` delays individual copies behind later
+      traffic, the schedule-level reordering gene);
     * ``map_change``: at ``at_ms`` the current primary proposes ``op``
       (split at ``key_index``'s key to cluster ``owner``, or merge of the
       ``key_index``-th boundary), racing whatever else the schedule set up.
@@ -58,6 +60,7 @@ class ScheduleEvent:
     delay_ms: float = 0.0
     duplicate: float = 0.0
     corrupt: float = 0.0
+    reorder: float = 0.0
     op: str = ""
     key_index: int = 0
     owner: int = 0
@@ -77,7 +80,7 @@ class ScheduleEvent:
         if self.kind in ("partition", "link_fault") and (not self.a or not self.b):
             problems.append(f"{self.kind}: missing endpoints")
         if self.kind == "link_fault":
-            for name in ("drop", "duplicate", "corrupt"):
+            for name in ("drop", "duplicate", "corrupt", "reorder"):
                 if not 0.0 <= getattr(self, name) <= 1.0:
                     problems.append(f"link_fault: {name} outside [0, 1]")
             if self.delay_ms < 0:
@@ -102,12 +105,21 @@ class FaultSchedule:
     # ------------------------------------------------------------------ #
 
     def to_json_dict(self) -> Dict:
+        events = []
+        for event in self.events:
+            data = asdict(event)
+            # Fields grown after the corpus was first committed serialise
+            # only when set, so older seeds keep their content digests (and
+            # thus their corpus file names) byte-for-byte.
+            if data.get("reorder") == 0.0:
+                del data["reorder"]
+            events.append(data)
         return {
             "scenario": self.scenario,
             "seed": self.seed,
             "workload_seed": self.workload_seed,
             "num_requests": self.num_requests,
-            "events": [asdict(event) for event in self.events],
+            "events": events,
         }
 
     def to_json(self) -> str:

@@ -8,8 +8,9 @@ schedule *still* violates:
    schedules are short enough that linear passes beat splitting);
 2. **narrow windows** -- halve each remaining event's ``duration_ms``;
 3. **demote strategies** -- replace a Byzantine strategy with the next
-   milder one (``lying_reply -> corrupt_reply -> silent``) and zero
-   link-fault knobs one at a time.
+   milder one (``lying_reply -> corrupt_reply -> silent``;
+   ``equivocating_primary -> censoring_primary -> slow_primary -> silent``)
+   and zero link-fault knobs one at a time.
 
 The deterministic simulator makes the predicate exact: a schedule either
 reproduces the violation or it does not, with no flakiness, so the shrunk
@@ -25,7 +26,10 @@ from typing import Callable, List, Optional
 from .schedule import FaultSchedule, ScheduleEvent
 
 #: demotion ladder (mildest last); a strategy not on the ladder is left alone
-_DEMOTIONS = {"lying_reply": "corrupt_reply", "corrupt_reply": "silent"}
+_DEMOTIONS = {"lying_reply": "corrupt_reply", "corrupt_reply": "silent",
+              "equivocating_primary": "censoring_primary",
+              "censoring_primary": "slow_primary",
+              "slow_primary": "silent"}
 
 #: hard cap on shrink executions, so a pathological schedule cannot wedge CI
 MAX_SHRINK_RUNS = 200
@@ -51,7 +55,7 @@ def _demoted(event: ScheduleEvent) -> List[ScheduleEvent]:
     if event.kind == "byzantine" and event.strategy in _DEMOTIONS:
         candidates.append(dc_replace(event, strategy=_DEMOTIONS[event.strategy]))
     if event.kind == "link_fault":
-        for knob in ("drop", "duplicate", "corrupt"):
+        for knob in ("drop", "duplicate", "corrupt", "reorder"):
             if getattr(event, knob) > 0.0:
                 candidates.append(dc_replace(event, **{knob: 0.0}))
         if event.delay_ms > 0.0:

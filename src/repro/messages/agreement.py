@@ -129,11 +129,22 @@ class CommitMsg(Message):
 
 @dataclass(frozen=True)
 class AgreementCheckpoint(Message):
-    """Agreement-cluster checkpoint vote at sequence number ``seq``."""
+    """Agreement-cluster checkpoint vote at sequence number ``seq``.
+
+    ``sync_state`` is the executor's transferable frontier state at the cut
+    (for the message queue: per-shard sequence frontiers and the epoch
+    cursor), so a replica that fell behind the stable checkpoint can adopt
+    it from any vote matching the certified digest (PBFT state transfer).
+    It rides outside the authenticated fields: its integrity comes from
+    recomputing ``state_digest`` over the claimed state at the receiver,
+    not from the vote's authenticator, so the authenticated bytes are those
+    of a plain checkpoint vote.
+    """
 
     seq: int
     state_digest: bytes
     replica: NodeId
+    sync_state: Tuple[Tuple[str, Any], ...] = ()
 
     def payload_fields(self) -> Dict[str, Any]:
         return {

@@ -46,10 +46,13 @@ class LinkFault:
     extra_delay_ms: float = 0.0
     duplicate_probability: float = 0.0
     corrupt_probability: float = 0.0
+    #: probability a copy crossing this link is reordered behind later
+    #: traffic (modelled, like the global knob, as a large extra delay)
+    reorder_probability: float = 0.0
 
     def validate(self) -> None:
         for name in ("drop_probability", "duplicate_probability",
-                     "corrupt_probability"):
+                     "corrupt_probability", "reorder_probability"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"LinkFault.{name} must be in [0, 1]")
@@ -146,7 +149,9 @@ class NetworkFaultModel:
             delay = self.base_delay(size)
             if link is not None:
                 delay += link.extra_delay_ms
-            if self.rng.chance(self.config.reorder_probability):
+            if self.rng.chance(self.config.reorder_probability) or (
+                    link is not None
+                    and self.rng.chance(link.reorder_probability)):
                 # Reordering is modelled as extra delay on this copy.
                 delay += self.rng.uniform(0.0, 4.0 * self.config.max_delay_ms)
             payload: Message = message

@@ -121,6 +121,13 @@ class ShardRouterQueue(MessageQueue):
         self.map_changes_rejected = 0
         self.cross_shard_markers = 0
 
+        #: frontier snapshots at checkpoint cuts: global seq -> (per-shard
+        #: next sequence numbers, epoch cursor), captured the moment the
+        #: release frontier crosses the cut so the snapshot is a pure
+        #: function of the released prefix (release may run ahead of the
+        #: delivery pass that emits the checkpoint vote)
+        self._sync_snapshots: Dict[int, Tuple[Tuple[int, ...], int]] = {}
+
         # Observability (passive): time each batch spends buffered between
         # staging (local commit) and release along the per-shard frontier.
         self._staged_at: Dict[int, float] = {}
@@ -185,6 +192,7 @@ class ShardRouterQueue(MessageQueue):
         while (self._released_seq + 1) in self._staged:
             self._released_seq += 1
             self._route_batch(self._staged.pop(self._released_seq))
+            self._note_checkpoint_cut(self._released_seq)
         self._g_staged.set(len(self._staged))
 
     def _route_batch(self, batch: OrderedBatch) -> None:
@@ -417,6 +425,84 @@ class ShardRouterQueue(MessageQueue):
         per-shard pipeline occupancy the skew-aware admission gate checks."""
         return len(self._unanswered[shard])
 
+    # ------------------------------------------------------------------ #
+    # Checkpoint state transfer.
+    # ------------------------------------------------------------------ #
+
+    def _note_checkpoint_cut(self, seq: int) -> None:
+        """Snapshot the routing frontiers when release crosses a checkpoint.
+
+        Captured here -- not when the checkpoint vote is emitted -- because
+        out-of-order staging lets the release frontier run ahead of the
+        hosting replica's contiguous delivery pass: the vote must describe
+        the state at exactly the cut, a pure function of the released
+        prefix, identical on every correct replica.
+        """
+        if seq % self.config.checkpoint_interval == 0:
+            self._sync_snapshots[seq] = (tuple(self._next_shard_seq), self.epoch)
+
+    def checkpoint_sync_state(self, seq: int) -> Tuple[Tuple[str, object], ...]:
+        """Transferable frontier state at the checkpoint cut: the per-shard
+        sequence counters and the epoch cursor.  A replica that adopts these
+        assigns the same ``(shard, shard_seq)`` pairs to future batches as
+        the replicas that actually released the gap."""
+        snapshot = self._sync_snapshots.get(seq)
+        if snapshot is None:
+            return ()  # not a checkpoint boundary (defensive)
+        frontiers, epoch = snapshot
+        return (("frontiers", frontiers), ("epoch", epoch))
+
+    def on_stable_checkpoint(self, seq: int) -> None:
+        self._sync_snapshots = {
+            cut: snapshot for cut, snapshot in self._sync_snapshots.items()
+            if cut > seq
+        }
+
+    def sync_to_checkpoint(self, seq: int,
+                           sync_state: Tuple[Tuple[str, object], ...]) -> None:
+        """Adopt a quorum-certified checkpoint cut this queue fell behind.
+
+        The skipped batches were released, routed, and answered by the
+        other replicas' queues; this queue will never see them.  Jumping
+        ``_released_seq`` alone would be unsound -- future batches would be
+        assigned stale shard-local sequence numbers that execution replicas
+        ignore, wedging this node the moment it becomes primary -- so the
+        digest-verified frontier state from the checkpoint votes is adopted
+        wholesale.  The reply watermark advances vacuously (the gap's
+        replies were collected elsewhere) and load counters simply miss the
+        gap: they feed a rebalancing heuristic, not a safety argument.
+        """
+        state = dict(sync_state)
+        frontiers = state.get("frontiers")
+        if frontiers is not None and len(frontiers) == self.num_shards:
+            self._next_shard_seq = list(frontiers)
+        epoch = state.get("epoch")
+        registry = getattr(self.router.partitioner, "registry", None)
+        if (epoch is not None and epoch > self.epoch and registry is not None
+                and registry.has_epoch(epoch)):
+            # The maps themselves are derived deterministically from the
+            # agreed config-operation history (shared registry); only the
+            # cursor needs transferring.
+            self.epoch = epoch
+            self.load_window.reset()
+        self.max_n = max(self.max_n, seq)
+        for stale in [n for n in self._staged if n <= seq]:
+            self._staged.pop(stale)
+            self._staged_at.pop(stale, None)
+        if seq > self._released_seq:
+            self._released_seq = seq
+            while (self._released_seq + 1) in self._staged:
+                self._released_seq += 1
+                self._route_batch(self._staged.pop(self._released_seq))
+                self._note_checkpoint_cut(self._released_seq)
+        self._g_staged.set(len(self._staged))
+        if seq > self.highest_reply_seq:
+            self.highest_reply_seq = seq
+            self._answered = {n for n in self._answered if n > seq}
+            while (self.highest_reply_seq + 1) in self._answered:
+                self.highest_reply_seq += 1
+                self._answered.discard(self.highest_reply_seq)
+
     def cross_shard_probe(self):
         """The agreement replica's cross-shard request probe.
 
@@ -496,7 +582,10 @@ class ShardRouterQueue(MessageQueue):
             remaining = self._parts_outstanding.get(global_seq, 0) - 1
             if remaining <= 0:
                 self._parts_outstanding.pop(global_seq, None)
-                self._answered.add(global_seq)
+                if global_seq > self.highest_reply_seq:
+                    # A checkpoint sync may have moved the watermark past a
+                    # still-pending part; its late reply must not linger.
+                    self._answered.add(global_seq)
             else:
                 self._parts_outstanding[global_seq] = remaining
         while (self.highest_reply_seq + 1) in self._answered:

@@ -455,6 +455,36 @@ class TestExactlyOnce:
         assert cluster_value(system, 0, left) == 1
 
 
+class TestMarkerAcrossViewChange:
+    def test_in_flight_marker_survives_a_view_change(self):
+        """A multi-shard snapshot read submitted just before the primary
+        dies completes across the view change with an untorn snapshot,
+        executing exactly once per touched cluster (the NEW-VIEW
+        re-proposal or the client's retransmission re-orders the marker;
+        dedup keeps it single-shot)."""
+        system = make_system()
+        left, right = key_on(system, 0), key_on(system, 1)
+        system.invoke(put(left, "L"))
+        system.invoke(put(right, "R"))
+        client = system.clients[0]
+        done = len(client.completed)
+        client.submit(multi_get([left, right]))
+        system.run(0.2)            # the marker's ordering is in flight
+        system.crash_agreement(0)  # depose the primary mid-agreement
+        system.run_until(lambda: len(client.completed) > done, 30_000.0,
+                         description="marker completes across the view change")
+        record = client.completed[-1]
+        assert record.result.value == {"values": {left: "L", right: "R"}}
+        live = [replica for replica in system.agreement_replicas
+                if not replica.crashed]
+        assert max(replica.view for replica in live) >= 1
+        system.run(500.0)  # drain retransmitted duplicates
+        for shard in (0, 1):
+            executed = {node.cross_shard_executed
+                        for node in system.execution_cluster(shard)}
+            assert executed == {1}
+
+
 # ---------------------------------------------------------------------- #
 # The mixed workload and its snapshot audit.
 # ---------------------------------------------------------------------- #

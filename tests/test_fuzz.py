@@ -23,8 +23,11 @@ from repro.apps.kvstore import KeyValueStore
 from repro.config import NetworkConfig
 from repro.faults import FaultInjector, FaultPlan, make_behaviour
 from repro.fuzz import (
+    BoundedProgressOracle,
     ExactlyOnceOracle,
     FaultSchedule,
+    NoProgressDetector,
+    RunContext,
     ScheduleEvent,
     explore,
     load_corpus,
@@ -67,6 +70,27 @@ PARTITION_DURING_VOTE = FaultSchedule(
     scenario="crossshard", seed=3, workload_seed=3, num_requests=24,
     events=(ScheduleEvent(kind="partition", at_ms=8.0, duration_ms=40.0,
                           a="agreement:0", b="execution:1:0"),))
+
+#: ordering-plane attack: the view-0 primary sends per-backup conflicting
+#: PRE-PREPAREs; no conflicting batch may ever gather a commit quorum
+EQUIVOCATING_PRIMARY = FaultSchedule(
+    scenario="sharded", seed=2, workload_seed=2, num_requests=30,
+    events=(ScheduleEvent(kind="byzantine", at_ms=10.0, duration_ms=400.0,
+                          node="agreement:0", strategy="equivocating_primary"),))
+
+#: ordering-plane attack: the primary orders only what it likes; backup
+#: forwarding and per-request deadlines must escalate to a view change
+CENSORING_PRIMARY = FaultSchedule(
+    scenario="sharded", seed=4, workload_seed=4, num_requests=30,
+    events=(ScheduleEvent(kind="byzantine", at_ms=10.0, duration_ms=400.0,
+                          node="agreement:0", strategy="censoring_primary"),))
+
+#: ordering-plane attack: the primary stays just under the view-change
+#: timer, degrading throughput without triggering a clean crash signal
+SLOW_PRIMARY = FaultSchedule(
+    scenario="sharded", seed=6, workload_seed=6, num_requests=30,
+    events=(ScheduleEvent(kind="byzantine", at_ms=10.0, duration_ms=400.0,
+                          node="agreement:0", strategy="slow_primary"),))
 
 
 class TestScheduleGenome:
@@ -222,6 +246,139 @@ class TestFixedSchedules:
         result = run_schedule(LYING_SCHEDULE, weaken_reply_quorum=True)
         assert any(v.oracle == "reply-table-audit"
                    for v in result.violations)
+
+
+class TestOrderingPlaneAttacks:
+    def test_equivocating_primary_never_commits_conflicting_values(self):
+        """Equivocation splits the prepare quorums, so nothing conflicting
+        commits; the deposed primary's window ends and every request lands."""
+        first = run_schedule(EQUIVOCATING_PRIMARY)
+        assert first.completed_all
+        assert first.violations == []
+        assert first.stats["view_changes"] >= 1
+        second = run_schedule(EQUIVOCATING_PRIMARY)
+        assert second.replay_digest == first.replay_digest
+
+    def test_censoring_primary_is_deposed_and_requests_complete(self):
+        """Backup forwarding plus per-request deadlines escalate censorship
+        to a view change; the starved requests complete under the successor."""
+        first = run_schedule(CENSORING_PRIMARY)
+        assert first.completed_all
+        assert first.violations == []
+        assert first.stats["view_changes"] >= 1
+        second = run_schedule(CENSORING_PRIMARY)
+        assert second.replay_digest == first.replay_digest
+
+    def test_slow_primary_degrades_but_never_starves(self):
+        """A primary riding just under the view-change timer costs latency
+        only -- every request still completes and no invariant breaks."""
+        result = run_schedule(SLOW_PRIMARY)
+        assert result.completed_all
+        assert result.violations == []
+
+    def test_censoring_without_defence_starves_requests(self):
+        """The liveness twin of the planted reply-quorum bug: with the
+        censorship-resistant request path switched off, a censoring primary
+        starves requests past the healed-liveness horizon and the
+        bounded-progress oracle flags it."""
+        result = run_schedule(CENSORING_PRIMARY,
+                              disable_forwarding_defence=True)
+        assert not result.completed_all
+        assert any(v.oracle == "bounded-progress" for v in result.violations)
+        assert result.stats["longest_stall_ms"] > 0
+
+    def test_planted_liveness_bug_found_shrunk_and_replayed(self):
+        """Acceptance demonstration (liveness): with forwarding defence
+        disabled, the campaign finds a bounded-progress violation within
+        budget, shrinks it, and the shrunk schedule replays bit-identically."""
+        report = explore("sharded", budget=12, seed=1, num_requests=30,
+                         disable_forwarding_defence=True)
+        assert report.findings
+        finding = report.findings[0]
+        assert any(v.oracle == "bounded-progress"
+                   for v in finding.run.violations)
+        assert finding.shrunk.result.violations
+        assert len(finding.shrunk.schedule.events) <= \
+            len(finding.run.schedule.events)
+        assert finding.replays_bit_identically
+        report_json = report.to_json_dict()
+        assert validate_schema.validate_fuzz_report(report_json) == []
+        assert report_json["pass"] is False
+
+
+class TestLivenessOracles:
+    def test_bounded_progress_is_inert_without_context(self):
+        oracle = BoundedProgressOracle(horizon_ms=100.0)
+        assert oracle.check(SimpleNamespace(), completed_all=False) == []
+
+    def test_bounded_progress_is_inert_when_complete_or_under_horizon(self):
+        oracle = BoundedProgressOracle(horizon_ms=1000.0)
+        context = RunContext(healed_at_ms=0.0, final_time_ms=5000.0,
+                             expected=10, completed=10)
+        assert oracle.check(SimpleNamespace(), completed_all=True,
+                            context=context) == []
+        short = RunContext(healed_at_ms=0.0, final_time_ms=500.0,
+                           expected=10, completed=3)
+        assert oracle.check(SimpleNamespace(), completed_all=False,
+                            context=short) == []
+
+    def test_bounded_progress_flags_starvation_past_horizon(self):
+        oracle = BoundedProgressOracle(horizon_ms=1000.0)
+        context = RunContext(healed_at_ms=100.0, final_time_ms=2000.0,
+                             expected=10, completed=4)
+        violations = oracle.check(SimpleNamespace(), completed_all=False,
+                                  context=context)
+        assert len(violations) == 1
+        assert violations[0].oracle == "bounded-progress"
+        assert "6 of 10" in violations[0].detail
+
+    def test_no_progress_detector_tracks_longest_stall(self):
+        detector = NoProgressDetector()
+        detector.sample(0.0, 0)
+        detector.sample(50.0, 0)      # 50ms stall
+        detector.sample(100.0, 2)     # progress resets the window
+        detector.sample(400.0, 2)     # 300ms stall
+        detector.sample(450.0, 5)
+        assert detector.longest_stall_ms == 300.0
+
+
+class TestReorderGene:
+    def test_reorder_field_serialises_only_when_set(self):
+        """Corpus digest stability: a zero reorder gene is omitted, so
+        pre-existing seed files keep their content digests and file names."""
+        plain = ScheduleEvent(kind="link_fault", at_ms=0.0, duration_ms=10.0,
+                              a="agreement:0", b="agreement:1", drop=0.1)
+        schedule = FaultSchedule(scenario="sharded", events=(plain,))
+        assert "reorder" not in schedule.to_json_dict()["events"][0]
+        reordering = ScheduleEvent(kind="link_fault", at_ms=0.0,
+                                   duration_ms=10.0, a="agreement:0",
+                                   b="agreement:1", reorder=0.4)
+        with_gene = FaultSchedule(scenario="sharded", events=(reordering,))
+        data = with_gene.to_json_dict()
+        assert data["events"][0]["reorder"] == 0.4
+        restored = FaultSchedule.from_json(with_gene.to_json())
+        assert restored == with_gene
+        assert restored.digest() == with_gene.digest()
+        assert validate_schema.validate_schedule(data) == []
+
+    def test_reorder_probability_is_validated(self):
+        bad = FaultSchedule(
+            scenario="sharded",
+            events=(ScheduleEvent(kind="link_fault", at_ms=0.0,
+                                  a="agreement:0", b="agreement:1",
+                                  reorder=1.5),))
+        assert any("reorder" in problem for problem in bad.validate())
+
+    def test_reorder_delays_copies_behind_later_traffic(self):
+        model = NetworkFaultModel(NetworkConfig(min_delay_ms=0.1,
+                                                max_delay_ms=0.1),
+                                  DeterministicRandom(0, "test-reorder"))
+        a, b = agreement_id(0), agreement_id(1)
+        model.set_link_fault(a, b, LinkFault(reorder_probability=1.0))
+        message = CorruptedMessage("probe", 64)
+        delayed = model.plan(a, b, message).deliveries[0][0]
+        plain = model.plan(b, a, message).deliveries[0][0]
+        assert delayed > plain
 
 
 class TestExplorer:

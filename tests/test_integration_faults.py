@@ -75,6 +75,39 @@ class TestCrashFaults:
         assert values == [1, 2, 3, 4]
 
 
+class TestViewChangeDefences:
+    def test_escalation_delay_backs_off_exponentially_to_the_cap(self, config):
+        system = SeparatedSystem(config, CounterService, seed=31)
+        replica = system.agreement_replicas[1]
+        timers = replica.config.timers
+        delays = []
+        for attempts in range(6):
+            replica._view_change_attempts = attempts
+            delays.append(replica._escalation_delay_ms())
+        assert delays[0] == timers.view_change_ms * timers.view_change_backoff
+        assert all(later >= earlier
+                   for earlier, later in zip(delays, delays[1:]))
+        assert delays[-1] == max(timers.view_change_backoff_cap_ms,
+                                 timers.view_change_ms)
+
+    def test_target_selection_skips_recently_deposed_primaries(self, config):
+        system = SeparatedSystem(config, CounterService, seed=32)
+        replica = system.agreement_replicas[1]
+        assert replica.next_view_target(0) == 1
+        replica._note_deposed(replica.primary_of(1), 0)
+        assert replica.next_view_target(0) == 2
+        assert replica.primaries_deposed == 1
+
+    def test_deposed_skip_is_bounded_to_one_rotation(self, config):
+        """If every candidate in the rotation was recently deposed,
+        liveness beats placement: the immediate successor is used."""
+        system = SeparatedSystem(config, CounterService, seed=33)
+        replica = system.agreement_replicas[1]
+        for view in range(len(replica.agreement_ids)):
+            replica._note_deposed(replica.primary_of(view + 1), view)
+        assert replica.next_view_target(0) == 1
+
+
 class TestByzantineExecutionFaults:
     def test_corrupt_replies_from_one_node_are_masked(self, config):
         """A Byzantine execution node reports wrong results for everything;

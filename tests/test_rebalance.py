@@ -427,6 +427,46 @@ class TestHandoffFaults:
         assert cluster_digests(system, 1) == {crashed.app.state_digest()}
 
 
+class TestCutAcrossViewChange:
+    def test_map_change_cut_survives_a_view_change(self):
+        """A split ordered just before the primary dies must survive the
+        view change: the NEW-VIEW re-proposal carries the config operation,
+        the cut applies exactly once at every live router, and traffic on
+        both sides of the new boundary completes under the successor."""
+        system = make_system()
+        for index in range(0, KEY_SPACE, 8):
+            system.invoke(put(skew_key(index), f"v{index}"),
+                          client_index=index % 4)
+        primary = system.agreement_replicas[0]
+        assert primary.propose_map_change(
+            MapChange(kind="split", parent_epoch=0, key=skew_key(8), owner=1))
+        registry = system.router.partitioner.registry
+        system.run(0.5)            # proposed, but the cut is still in flight
+        assert registry.latest_epoch == 0
+        system.crash_agreement(0)  # depose the proposer
+        # Ordinary traffic escalates to the view change; the NEW-VIEW
+        # re-proposal carries the prepared config operation with it.
+        record = system.invoke(get(skew_key(16)), timeout_ms=30_000.0)
+        assert record.result.value["value"] == "v16"
+        system.run_until(lambda: registry.latest_epoch == 1, 30_000.0,
+                         description="the cut lands despite the view change")
+        system.run(500.0)  # let the view change and handoff settle
+        live = [replica for replica in system.agreement_replicas
+                if not replica.crashed]
+        assert max(replica.view for replica in live) >= 1
+        for index, queue in enumerate(system.message_queues):
+            if not system.agreement_replicas[index].crashed:
+                assert queue.epoch == 1
+                assert queue.epoch_cuts == 1  # applied exactly once
+        # The moved range serves reads and writes under the new owner.
+        system.invoke(put(skew_key(16), "post-cut"), timeout_ms=30_000.0)
+        assert system.invoke(
+            get(skew_key(16)), timeout_ms=30_000.0
+        ).result.value["value"] == "post-cut"
+        for shard in range(system.num_shards):
+            assert len(cluster_digests(system, shard)) == 1
+
+
 # ---------------------------------------------------------------------- #
 # Exactly-once across automatic split + merge cuts.
 # ---------------------------------------------------------------------- #
