@@ -35,6 +35,7 @@ SCRIPTS: Dict[str, str] = {
     "rebalance": "bench_rebalance.py",
     "crossshard": "bench_crossshard.py",
     "failover": "bench_failover.py",
+    "ordering": "bench_ordering_scaling.py",
 }
 
 #: fields allowed to differ between the obs-on and obs-off runs, stripped at

@@ -62,6 +62,14 @@ def _failover_summary(results: Dict) -> str:
             f"{'ok' if results['safety']['safety_pass'] else 'VIOLATED'}")
 
 
+def _ordering_summary(results: Dict) -> str:
+    cross = results["cross_group"]
+    return (f"K-log scaling {results['scaling']['scaling_ratio']:.2f}x, "
+            f"cross-group ratio {cross['cross_ratio']:.2f}, "
+            f"{cross['torn_groups']} torn groups, "
+            f"{cross['cut_fallovers']} fallovers")
+
+
 def _crossshard_summary(results: Dict) -> str:
     audit = results["audit"]
     return (f"mixed/single throughput ratio "
@@ -96,6 +104,11 @@ GATES: Dict[str, Dict] = {
         "script": "bench_failover.py",
         "baseline": "failover_baseline.json",
         "summary": _failover_summary,
+    },
+    "ordering": {
+        "script": "bench_ordering_scaling.py",
+        "baseline": "ordering_baseline.json",
+        "summary": _ordering_summary,
     },
 }
 

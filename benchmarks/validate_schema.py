@@ -44,6 +44,7 @@ TRACE_EVENTS = frozenset({
     "submit", "admit", "order", "commit", "stage", "release", "execute",
     "vote_open", "vote_done", "collate", "reply",
     "view_change_start", "view_change_end",
+    "coordinate_open", "coordinate_done",
 })
 
 
@@ -159,6 +160,7 @@ def validate_trace_file(path: Path) -> List[str]:
 #: kept literal here so producer drift cannot relax the artifact contract)
 SCHEDULE_EVENT_KINDS = frozenset({
     "crash", "partition", "byzantine", "link_fault", "map_change",
+    "log_move",
 })
 
 #: top-level fields every fuzz schedule JSON must carry

@@ -164,6 +164,10 @@ class AgreementReplica(Process):
         self._checkpoint_sync_states: Dict[Tuple[int, bytes],
                                            Tuple[Tuple[str, Any], ...]] = {}
 
+        #: stable checkpoints observed since entering the current view
+        #: (drives proactive primary rotation when the knob is set)
+        self._stable_checkpoints_in_view = 0
+
         # Statistics used by benchmarks.
         self.batches_delivered = 0
         self.requests_delivered = 0
@@ -171,6 +175,7 @@ class AgreementReplica(Process):
         self.cross_shard_ordered = 0
         self.primaries_deposed = 0
         self.checkpoint_syncs = 0
+        self.planned_rotations = 0
 
     # ------------------------------------------------------------------ #
     # Role helpers.
@@ -315,9 +320,15 @@ class AgreementReplica(Process):
             if handler is not None:
                 handler(sender, message)
         else:
-            # Unknown or corrupted messages are dropped silently, as the
-            # Byzantine fault model requires correct nodes to tolerate
-            # arbitrary garbage.
+            # Messages the agreement protocol itself does not speak are
+            # offered to the local state machine (the multi-log router queue
+            # handles cross-log bindings and cuts this way); anything still
+            # unknown or corrupted is dropped silently, as the Byzantine
+            # fault model requires correct nodes to tolerate arbitrary
+            # garbage.
+            handler = getattr(self.local, "on_unknown_message", None)
+            if handler is not None:
+                handler(sender, message)
             return
 
     # ------------------------------------------------------------------ #
@@ -1054,6 +1065,25 @@ class AgreementReplica(Process):
                 key: state for key, state in self._checkpoint_sync_states.items()
                 if key[0] > seq
             }
+            self._maybe_rotate_primary()
+
+    def _maybe_rotate_primary(self) -> None:
+        """Proactive rotation: planned view change every N stable checkpoints.
+
+        Every correct replica counts the same stable checkpoints within a
+        view, so all 3f+1 reach the rotation threshold and vote for the
+        same next view without any replica having to accuse the primary --
+        the view change assembles exactly like a failure-driven one, but
+        the outgoing primary is not marked deposed.
+        """
+        interval = self.config.timers.rotation_interval_checkpoints
+        if interval is None or self._view_changing:
+            return
+        self._stable_checkpoints_in_view += 1
+        if self._stable_checkpoints_in_view >= interval:
+            self.planned_rotations += 1
+            self.start_view_change(self.next_view_target(self.view),
+                                   planned=True)
 
     def _sync_to_checkpoint(self, seq: int, state_digest: bytes) -> None:
         """State transfer: jump a stranded delivery frontier to a stable cut.
@@ -1083,11 +1113,17 @@ class AgreementReplica(Process):
     # View changes.
     # ------------------------------------------------------------------ #
 
-    def start_view_change(self, new_view: int) -> None:
-        """Vote to move to ``new_view`` (carrying prepared-batch evidence)."""
+    def start_view_change(self, new_view: int, planned: bool = False) -> None:
+        """Vote to move to ``new_view`` (carrying prepared-batch evidence).
+
+        ``planned`` marks a proactive rotation (the
+        ``rotation_interval_checkpoints`` knob): the outgoing primary did
+        nothing wrong, so it is not recorded as deposed and stays in the
+        rotation for future views.
+        """
         if new_view <= self.view and self._target_view >= new_view:
             return
-        if not self._view_changing:
+        if not self._view_changing and not planned:
             # Abandoning a live view: its primary failed us (timeout,
             # censorship, or equivocation) -- skip it for a rotation.
             self._note_deposed(self.primary_of(self.view), self.view)
@@ -1107,7 +1143,8 @@ class AgreementReplica(Process):
         )
         vote = ViewChange(new_view=self._target_view,
                           last_stable_seq=self.log.stable_seq,
-                          prepared=prepared, replica=self.node_id)
+                          prepared=prepared, replica=self.node_id,
+                          planned=planned)
         self._record_view_change(self.node_id, vote)
         self.multicast(self.agreement_ids, vote)
         # Escalate if the view change itself stalls, backing off
@@ -1143,9 +1180,13 @@ class AgreementReplica(Process):
         votes = self._view_change_votes.get(message.new_view, {})
         # Join the view change once f + 1 replicas are already moving: this is
         # the standard liveness rule that prevents a slow replica from being
-        # left behind.
+        # left behind.  Join a *planned* rotation as planned -- f + 1 planned
+        # votes contain a correct one, so the outgoing primary did nothing
+        # wrong and must not be marked deposed by laggards.
         if len(votes) >= self.f + 1 and self._target_view < message.new_view:
-            self.start_view_change(message.new_view)
+            planned = sum(
+                1 for vote in votes.values() if vote.planned) >= self.f + 1
+            self.start_view_change(message.new_view, planned=planned)
         if (self.primary_of(message.new_view) == self.node_id
                 and len(votes) >= 2 * self.f + 1):
             self._send_new_view(message.new_view)
@@ -1226,6 +1267,7 @@ class AgreementReplica(Process):
         self._view_changing = False
         self._target_view = view
         self._view_change_attempts = 0
+        self._stable_checkpoints_in_view = 0
         self.view_changes_completed += 1
         self.next_seq = max(self.next_seq, self.log.last_delivered_seq + 1)
         # Proposals of the old view may have been discarded by the view

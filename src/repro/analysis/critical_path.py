@@ -16,9 +16,12 @@ execute   release -> execute       execution-replica queueing + application
 reply     execute -> reply         reply certificate assembly + client vote
 ========  =======================  ==========================================
 
-Two optional stages appear when the workload exercises them: ``vote``
-(``vote_open -> vote_done``, the cross-shard read-set vote round) and
-``collate`` (``execute -> collate``, multi-shard sub-reply collation).
+Three optional stages appear when the workload exercises them: ``vote``
+(``vote_open -> vote_done``, the cross-shard read-set vote round),
+``collate`` (``execute -> collate``, multi-shard sub-reply collation), and
+``coordinate`` (``coordinate_open -> coordinate_done``, the time a
+cross-group marker spends holding a multi-log release frontier while the
+cross-log cut certifies).
 
 Events are folded per trace id with min-time semantics: when several nodes
 record the same event for one request (every replica admits, commits, and
@@ -40,7 +43,7 @@ from .reporting import format_table
 STAGES: Tuple[str, ...] = ("admit", "batch", "agree", "release", "execute", "reply")
 
 #: optional stages, only reported when their events occur
-OPTIONAL_STAGES: Tuple[str, ...] = ("vote", "collate")
+OPTIONAL_STAGES: Tuple[str, ...] = ("vote", "collate", "coordinate")
 
 #: stage name -> (start event, end event)
 STAGE_BOUNDARIES: Dict[str, Tuple[str, str]] = {
@@ -52,6 +55,7 @@ STAGE_BOUNDARIES: Dict[str, Tuple[str, str]] = {
     "reply": ("execute", "reply"),
     "vote": ("vote_open", "vote_done"),
     "collate": ("execute", "collate"),
+    "coordinate": ("coordinate_open", "coordinate_done"),
 }
 
 

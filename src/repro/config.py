@@ -335,6 +335,58 @@ class CrossShardConfig:
 
 
 @dataclass(frozen=True)
+class MultiLogConfig:
+    """Multi-log ordering: shard the agreement plane itself (``repro.multilog``).
+
+    A single ``3f + 1`` agreement cluster eventually saturates no matter how
+    many execution shards sit behind it.  With multi-log ordering the
+    ordering plane is partitioned into ``num_logs`` *independent* ``3f + 1``
+    agreement logs, each owning an equal, contiguous group of execution
+    shards (the :class:`repro.multilog.LogMap`, epoch-versioned exactly like
+    the partition map).  Single-group requests flow through their own log
+    end to end, so committed throughput scales with the number of logs.
+
+    Cross-group operations (multi-shard reads/transactions whose keys span
+    log groups, and ``LogMapChange`` config operations moving a shard
+    between groups) are ordered by a **cross-log coordination round**: every
+    touched log orders the same marker in its own log, each of its replicas
+    emits an ``f + 1``-vouchable sequence binding, and the lowest touched
+    log's primary collates the bindings into a certified *cut* (a per-log
+    sequence vector) at which every touched router queue releases the
+    marker.  Backups of the coordinator log fall the collation duty over on
+    a timer, mirroring the cross-shard collator discipline.
+
+    Parameters
+    ----------
+    num_logs:
+        Number of independent agreement logs.  ``1`` degenerates to the
+        single-log separated architecture (no coordination machinery at
+        all).  Requires ``sharding.num_shards`` to be divisible by
+        ``num_logs`` so groups start out equal; ``LogMapChange`` operations
+        may make them unequal later.
+    cut_fallover_scale:
+        The coordinator log's backups arm their fallover timer at
+        ``cut_fallover_scale * timers.agreement_retransmit_ms`` once their
+        own binding collation completes; on expiry they broadcast the cut
+        themselves, so a Byzantine (or silent) coordinating primary delays a
+        cross-group operation by at most one timer round.
+    """
+
+    num_logs: int = 1
+    cut_fallover_scale: float = 2.0
+
+    @property
+    def enabled(self) -> bool:
+        return self.num_logs > 1
+
+    def validate(self) -> None:
+        if self.num_logs < 1:
+            raise ConfigurationError("num_logs must be at least 1")
+        if self.cut_fallover_scale <= 0:
+            raise ConfigurationError("cut_fallover_scale must be positive")
+
+
+@dataclass(frozen=True)
 class PerfConfig:
     """Hot-path fast-path switches (the verification/encoding fast path).
 
@@ -509,9 +561,23 @@ class TimerConfig:
     #: base timer)
     view_change_backoff_cap_ms: float = 6400.0
     batch_timeout_ms: float = 1.0
+    #: proactive primary rotation: after this many *stable checkpoints* in
+    #: the current view, every replica starts a planned view change to the
+    #: next primary (riding the ordinary view-change path, so the handover
+    #: inherits its safety argument wholesale).  All correct replicas count
+    #: the same stable checkpoints, so the rotation quorum forms without any
+    #: extra coordination.  ``None`` (the default) never rotates.
+    rotation_interval_checkpoints: Optional[int] = None
 
     def validate(self) -> None:
         for fld in dataclasses.fields(self):
+            if fld.name == "rotation_interval_checkpoints":
+                value = getattr(self, fld.name)
+                if value is not None and value < 1:
+                    raise ConfigurationError(
+                        "rotation_interval_checkpoints must be at least 1 "
+                        "(or None to disable proactive rotation)")
+                continue
             if getattr(self, fld.name) <= 0:
                 raise ConfigurationError(f"timer {fld.name} must be positive")
         if self.view_change_backoff < 1.0:
@@ -575,6 +641,7 @@ class SystemConfig:
     sharding: ShardingConfig = field(default_factory=ShardingConfig)
     rebalance: RebalanceConfig = field(default_factory=RebalanceConfig)
     cross_shard: CrossShardConfig = field(default_factory=CrossShardConfig)
+    multilog: MultiLogConfig = field(default_factory=MultiLogConfig)
     perf: PerfConfig = field(default_factory=PerfConfig)
     batching: BatchingConfig = field(default_factory=BatchingConfig)
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
@@ -620,11 +687,30 @@ class SystemConfig:
                 "firewall: the routing layers must read operation keys, "
                 "which the firewall deployment encrypts end-to-end"
             )
+        if self.multilog.enabled:
+            if self.use_privacy_firewall:
+                raise ConfigurationError(
+                    "multi-log ordering is incompatible with the privacy "
+                    "firewall (the log routers must read operation keys)"
+                )
+            if self.sharding.num_shards % self.multilog.num_logs != 0:
+                raise ConfigurationError(
+                    f"num_shards ({self.sharding.num_shards}) must be "
+                    f"divisible by num_logs ({self.multilog.num_logs}) so "
+                    "shard groups start out equal"
+                )
+            if self.rebalance.enabled:
+                raise ConfigurationError(
+                    "multi-log ordering and dynamic rebalancing are mutually "
+                    "exclusive for now: a partition-map cut is ordered in one "
+                    "log but governs key ownership across all of them"
+                )
         self.network.validate()
         self.timers.validate()
         self.sharding.validate()
         self.rebalance.validate()
         self.cross_shard.validate()
+        self.multilog.validate()
         self.perf.validate()
         self.batching.validate()
         self.pipeline.validate()
@@ -777,6 +863,21 @@ class SystemConfig:
             defaults["pipeline"] = PipelineConfig(
                 per_shard_depth=int(depth), ooo_shard_delivery=True, rtt_gather=True)
         return SystemConfig(**defaults)
+
+    @staticmethod
+    def multilog_sharded(num_logs: int, num_shards: int, strategy: str = "hash",
+                         range_boundaries: tuple = (),
+                         **overrides: object) -> "SystemConfig":
+        """Sharded separated architecture with ``num_logs`` agreement logs.
+
+        Delegates to :meth:`sharded` (so multi-log deployments inherit the
+        skew-aware pipeline defaults) and partitions the ``num_shards``
+        execution clusters into ``num_logs`` equal contiguous groups.
+        """
+        defaults: dict = dict(multilog=MultiLogConfig(num_logs=num_logs))
+        defaults.update(overrides)
+        return SystemConfig.sharded(num_shards, strategy,
+                                    tuple(range_boundaries), **defaults)
 
     @staticmethod
     def privacy_firewall(**overrides: object) -> "SystemConfig":

@@ -28,6 +28,7 @@ from ..apps.kvstore import KeyValueStore, get as kv_get, put as kv_put
 from ..config import (
     CryptoCosts,
     CrossShardConfig,
+    MultiLogConfig,
     ObservabilityConfig,
     PipelineConfig,
     RebalanceConfig,
@@ -36,10 +37,15 @@ from ..config import (
     TimerConfig,
 )
 from ..faults import FaultInjector, FaultPlan, make_behaviour
+from ..multilog import MultiLogSystem
 from ..net.faults import LinkFault
 from ..sharding.messages import MapChange
 from ..sharding.system import ShardedSystem
-from ..workloads.crossshard import mixed_cross_shard_operations, seed_operations
+from ..workloads.crossshard import (
+    mixed_cross_group_operations,
+    mixed_cross_shard_operations,
+    seed_operations,
+)
 from ..workloads.skew import equal_range_boundaries, skew_key
 from .oracles import (
     NoProgressDetector,
@@ -76,6 +82,8 @@ class ScenarioSpec:
     num_clients: int = 3
     rebalance: bool = False
     cross_shard: bool = False
+    #: > 1 builds a MultiLogSystem partitioning the ordering plane
+    num_logs: int = 1
 
     @property
     def allows_map_change(self) -> bool:
@@ -86,6 +94,7 @@ class ScenarioSpec:
             f=1, g=1, h=1, num_clients=self.num_clients, pipeline_depth=16,
             checkpoint_interval=8, bundle_size=1, timers=_TIMERS,
             crypto=_CRYPTO,
+            multilog=MultiLogConfig(num_logs=self.num_logs),
             sharding=ShardingConfig(
                 num_shards=self.num_shards, strategy="range",
                 range_boundaries=equal_range_boundaries(KEY_SPACE,
@@ -113,6 +122,12 @@ class ScenarioSpec:
     def make_operations(self, workload_seed: int, num_requests: int) -> List:
         rng = random.Random(workload_seed)
         operations: List = []
+        if self.num_logs > 1:
+            # Cross-group mix: multi-shard markers span log groups, so the
+            # schedule races bindings, cuts, and fallover against faults.
+            return mixed_cross_group_operations(
+                num_requests, key_space=KEY_SPACE, num_shards=self.num_shards,
+                multi_fraction=0.25, seed=workload_seed)
         if self.cross_shard:
             return mixed_cross_shard_operations(
                 num_requests, key_space=KEY_SPACE, num_shards=self.num_shards,
@@ -129,7 +144,8 @@ class ScenarioSpec:
         """The symbolic node vocabulary mutations may draw targets from."""
         config = self.make_config()
         agreement = [f"agreement:{i}"
-                     for i in range(config.num_agreement_nodes)]
+                     for i in range(config.num_agreement_nodes
+                                    * max(1, self.num_logs))]
         execution = [f"execution:{shard}:{j}"
                      for shard in range(self.num_shards)
                      for j in range(config.num_execution_nodes)]
@@ -146,6 +162,10 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
     # cross-shard markers + rebalance: votes, collations, and cuts race
     "crossshard": ScenarioSpec(name="crossshard", rebalance=True,
                                cross_shard=True),
+    # two agreement logs over four shards: cross-group markers, cross-log
+    # bindings/cuts, and log_move reconfiguration race the fault genome
+    "multilog": ScenarioSpec(name="multilog", num_shards=4, num_logs=2,
+                             cross_shard=True),
 }
 
 
@@ -248,6 +268,31 @@ def _install_map_change(system: ShardedSystem, event: ScheduleEvent) -> None:
                              label="fuzz:map_change")
 
 
+def _install_log_move(system, event: ScheduleEvent) -> None:
+    """Fire a shard-between-log-groups move at the event's virtual time.
+
+    Resolved against the live log map when the event fires; proposals the
+    driver's preconditions reject (a previous change still cutting, a
+    primary mid-view-change, the shard already owned by the target) are
+    silently dropped -- a no-op gene, like a structurally stale map_change.
+    On single-log systems the gene is always a no-op.
+    """
+    propose = getattr(system, "propose_log_map_change", None)
+    if propose is None:
+        return
+
+    def fire() -> None:
+        shard = event.key_index % system.num_shards
+        target = event.owner % system.num_logs
+        try:
+            propose(shard, target)
+        except Exception:
+            pass
+
+    system.scheduler.call_at(system.now + event.at_ms, fire,
+                             label="fuzz:log_move")
+
+
 def install_schedule(system: ShardedSystem,
                      schedule: FaultSchedule) -> FaultInjector:
     """Install every schedule event; returns the injector (for healing)."""
@@ -284,6 +329,8 @@ def install_schedule(system: ShardedSystem,
             plan.link_fault(src, dst, fault, at_ms=event.at_ms, until_ms=until)
         elif event.kind == "map_change":
             _install_map_change(system, event)
+        elif event.kind == "log_move":
+            _install_log_move(system, event)
     injector.install(plan)
     return injector
 
@@ -328,6 +375,15 @@ def _system_counters(system: ShardedSystem) -> Dict[str, int]:
     counters["handoffs"] = handoffs
     counters["range_fetches"] = fetches
     counters["state_transfers"] = transfers
+    # Multi-log coordination counters: only present on MultiLogSystem runs,
+    # so single-log corpus seeds keep their fingerprints and digests.
+    log_registry = getattr(system, "log_registry", None)
+    if log_registry is not None:
+        counters["log_epoch"] = log_registry.latest_epoch
+        for name in ("cross_log_markers", "bindings_sent", "cuts_broadcast",
+                     "cut_fallovers", "invalid_cuts", "log_map_cuts"):
+            counters[name] = sum(getattr(queue, name)
+                                 for queue in system.message_queues)
     return counters
 
 
@@ -414,7 +470,10 @@ def run_schedule(schedule: FaultSchedule, *,
         raise ValueError(f"invalid schedule: {problems}")
     spec = scenario(schedule.scenario)
     config = spec.make_config()
-    system = ShardedSystem(config, KeyValueStore, seed=schedule.seed)
+    if spec.num_logs > 1:
+        system = MultiLogSystem(config, KeyValueStore, seed=schedule.seed)
+    else:
+        system = ShardedSystem(config, KeyValueStore, seed=schedule.seed)
     if weaken_reply_quorum:
         for client in system.clients:
             client.reply_quorum = config.g  # test-only planted bug

@@ -23,7 +23,8 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Sequence, Tuple
 
 #: event kinds a schedule may contain
-EVENT_KINDS = ("crash", "partition", "byzantine", "link_fault", "map_change")
+EVENT_KINDS = ("crash", "partition", "byzantine", "link_fault", "map_change",
+               "log_move")
 
 #: map-change operations a schedule may request
 MAP_CHANGE_OPS = ("split", "merge")
@@ -46,7 +47,11 @@ class ScheduleEvent:
       traffic, the schedule-level reordering gene);
     * ``map_change``: at ``at_ms`` the current primary proposes ``op``
       (split at ``key_index``'s key to cluster ``owner``, or merge of the
-      ``key_index``-th boundary), racing whatever else the schedule set up.
+      ``key_index``-th boundary), racing whatever else the schedule set up;
+    * ``log_move``: at ``at_ms`` the multi-log driver proposes moving shard
+      ``key_index`` (mod the shard count) to log group ``owner`` (mod the
+      log count) -- a no-op gene on single-log scenarios or when any log's
+      preconditions reject the change.
     """
 
     kind: str

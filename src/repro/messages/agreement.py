@@ -179,20 +179,31 @@ class ViewChange(Message):
     ``prepared`` carries, for every sequence number above the replica's last
     stable checkpoint that prepared locally, the proof needed for the new
     primary to re-propose it.
+
+    ``planned`` marks a proactive rotation vote (the
+    ``rotation_interval_checkpoints`` knob): the voter's own rotation
+    counter fired, nobody accused the primary.  A replica joining the view
+    change treats it as planned only when ``f + 1`` votes say so -- at
+    least one of those is correct, so a Byzantine minority cannot shield a
+    genuinely failed primary from deposed-marking.
     """
 
     new_view: int
     last_stable_seq: int
     prepared: Tuple[PreparedProof, ...]
     replica: NodeId
+    planned: bool = False
 
     def payload_fields(self) -> Dict[str, Any]:
-        return {
+        fields = {
             "v": self.new_view,
             "h": self.last_stable_seq,
             "prepared": [p.to_wire() for p in self.prepared],
             "i": self.replica.name,
         }
+        if self.planned:  # omitted when False: failure votes keep their bytes
+            fields["p"] = 1
+        return fields
 
 
 @dataclass(frozen=True)

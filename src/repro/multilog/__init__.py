@@ -1,0 +1,24 @@
+"""Multi-log ordering: K independent agreement logs over one shard space.
+
+The ordering plane is partitioned into ``K`` independent ``3f + 1``
+agreement clusters ("logs"), each owning a group of execution shards
+through an epoch-versioned :class:`~repro.multilog.logmap.LogMap` (the
+ordering-plane analogue of the partition map).  Single-group requests flow
+through their own log end to end, so committed throughput scales with
+``K``; cross-group operations and log-map changes are fixed at one
+consistent cut by a cross-log coordination round of ``f + 1``-vouched
+per-log sequence bindings (see :mod:`repro.multilog.queue`).
+"""
+
+from .client import MultiLogClient
+from .logmap import LogMap, LogMapRegistry, initial_log_map
+from .messages import (CrossLogBinding, CrossLogBindingBody, CrossLogCut,
+                       LogMapChange, log_map_change_of)
+from .queue import MultiLogRouterQueue
+from .system import MultiLogSystem
+
+__all__ = [
+    "CrossLogBinding", "CrossLogBindingBody", "CrossLogCut", "LogMap",
+    "LogMapChange", "LogMapRegistry", "MultiLogClient", "MultiLogRouterQueue",
+    "MultiLogSystem", "initial_log_map", "log_map_change_of",
+]

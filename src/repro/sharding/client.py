@@ -37,7 +37,7 @@ from ..net.message import Message
 from ..sim.scheduler import Scheduler
 from ..statemachine.interface import Operation, OperationResult
 from ..util.ids import NodeId
-from .messages import CrossShardReply, SubReplyBody
+from .messages import CrossShardReply, SubReplyBody, sub_reply_rounds_consistent
 from .router import ShardRouter
 
 
@@ -63,6 +63,10 @@ class ShardAwareClient(ClientNode):
         #: this client's partition-map epoch cursor (advanced only by
         #: consistent, authenticated newer-epoch replies)
         self.epoch = 0
+        #: multi-log hook (set by the multi-log wiring): shard -> log,
+        #: used to group sub-reply fragments whose op_seq lives in per-log
+        #: sequence spaces.  None in single-log deployments.
+        self.log_of_shard = None
         self._expected_shard: Optional[int] = None
         self._pending_operation: Optional[Operation] = None
         #: in-flight cross-shard operation: the original (unstamped)
@@ -115,6 +119,16 @@ class ShardAwareClient(ClientNode):
         if len(keys) > self.config.cross_shard.max_keys:
             return (f"cross-shard operation touches {len(keys)} keys "
                     f"(max_keys is {self.config.cross_shard.max_keys})")
+        if (self.config.multilog.enabled and operation.kind == "txn"
+                and operation.args.get("reads")):
+            # Under multi-log ordering a read-validating transaction's vote
+            # round could deadlock against another ordered inversely by a
+            # different log, so the system refuses them outright (see
+            # README "Multi-log ordering").  Snapshot reads and write-only
+            # transactions remain fully supported across log groups.
+            return ("read-validating cross-shard transactions are not "
+                    "supported under multi-log ordering (multilog.num_logs "
+                    "> 1); use multi_get + write-only txn")
         return None
 
     def _fail_locally(self, operation: Operation, timestamp: int,
@@ -303,11 +317,10 @@ class ShardAwareClient(ClientNode):
             return None
         first = bodies[0]
         for body in bodies:
-            if (body.client != self.node_id or body.timestamp != timestamp
-                    or body.status != first.status
-                    or body.epoch != first.epoch
-                    or body.op_seq != first.op_seq):
+            if body.client != self.node_id or body.timestamp != timestamp:
                 return None
+        if not sub_reply_rounds_consistent(bodies, self.log_of_shard):
+            return None
         if first.epoch != 0:
             registry = getattr(self.router.partitioner, "registry", None)
             if registry is None or not registry.has_epoch(first.epoch):

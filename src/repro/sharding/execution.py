@@ -91,9 +91,11 @@ from .messages import (
     ShardedBatch,
     ShardLocalBatch,
     SubReplyBody,
+    config_op_of,
     cross_shard_request_of,
     handoff_payload,
     map_change_of,
+    sub_reply_rounds_consistent,
     vote_payload,
 )
 from .rebalance import apply_map_change
@@ -101,6 +103,10 @@ from .router import ShardRouter
 
 #: (epoch, lo, hi) identifying one moved key range
 RangeKey = Tuple[int, Optional[str], Optional[str]]
+
+#: vouched route binding for one shard-local slot: (agreement-certificate
+#: body digest, routing epoch, ordering log -- None outside multi-log)
+_RouteBinding = Tuple[bytes, int, Optional[int]]
 
 #: (client, timestamp, epoch) identifying one cross-shard transaction's votes
 TxnKey = Tuple[NodeId, int, int]
@@ -193,9 +199,9 @@ class ShardExecutionNode(ExecutionNode):
         #: this replica's partition-map epoch (bumps exactly at cut markers)
         self.epoch = 0
         #: route-binding votes: shard_seq -> voter -> (envelope digest, epoch)
-        self._route_votes: Dict[int, Dict[NodeId, Tuple[bytes, int]]] = {}
+        self._route_votes: Dict[int, Dict[NodeId, _RouteBinding]] = {}
         #: shard_seq -> the accepted (f+1 / g+1 vouched) (digest, epoch)
-        self._route_accepted: Dict[int, Tuple[bytes, int]] = {}
+        self._route_accepted: Dict[int, _RouteBinding] = {}
         #: inbound moved ranges not yet installed: range -> source cluster
         self._awaiting_ranges: Dict[RangeKey, int] = {}
         #: handoff shares received: range -> sender -> state digest
@@ -206,6 +212,14 @@ class ShardExecutionNode(ExecutionNode):
         self._outbound_handoffs: Dict[RangeKey, RangeHandoff] = {}
         #: checkpoint deferred because it fell on a cut awaiting its ranges
         self._deferred_checkpoint: Optional[int] = None
+        #: multi-log hooks (set by the multi-log system wiring; both stay
+        #: None in single-log deployments).  ``on_config_marker(node, op)``
+        #: runs after a non-partition config marker's slot bookkeeping --
+        #: it is how a log-map cut repoints this cluster's upstream log.
+        #: ``log_of_shard(shard) -> log`` groups cross-shard sub-reply
+        #: fragments whose op_seq lives in per-log sequence spaces.
+        self.on_config_marker = None
+        self.log_of_shard = None
 
         # ---------------- Cross-shard operation state. ---------------- #
         #: transaction blocked at its marker awaiting peer-shard votes
@@ -314,16 +328,17 @@ class ShardExecutionNode(ExecutionNode):
             self.misroutes += 1
             return
         seq = message.shard_seq
-        # Vote on (agreement-certificate *body* digest, epoch): the body
-        # (view, global seq, batch digest, nondet) is identical across
+        # Vote on (agreement-certificate *body* digest, epoch, log): the
+        # body (view, global seq, batch digest, nondet) is identical across
         # correct senders -- each sender's assembled certificate carries a
         # different authenticator set -- and it binds the batch content,
         # which _validate_batch checks against it at acceptance time.  The
-        # epoch rides in the vote so a single Byzantine agreement node can
-        # no more relabel a batch's routing epoch than its slot: a
-        # stale/forged epoch never gathers f + 1 matching votes.
+        # epoch and ordering log ride in the vote so a single Byzantine
+        # agreement node can no more relabel a batch's routing epoch or its
+        # ordering log than its slot: a stale/forged label never gathers
+        # f + 1 matching votes.
         digest = self.crypto.payload_digest(message.batch.agreement_certificate.payload)
-        binding = (digest, message.epoch)
+        binding = (digest, message.epoch, message.log)
         votes = self._route_votes.setdefault(seq, {})
         repeat = votes.get(sender) == binding
         votes[sender] = binding
@@ -364,8 +379,8 @@ class ShardExecutionNode(ExecutionNode):
         window = max(2 * self.config.checkpoint_interval, 2 * depth)
         return shard_seq <= self.max_executed + window
 
-    def _binding_vouched(self, votes: Dict[NodeId, Tuple[bytes, int]],
-                         binding: Tuple[bytes, int]) -> bool:
+    def _binding_vouched(self, votes: Dict[NodeId, _RouteBinding],
+                         binding: _RouteBinding) -> bool:
         """``f + 1`` agreement senders or ``g + 1`` shard peers vouch for it."""
         agreement_votes = sum(1 for voter, seen in votes.items()
                               if seen == binding and voter in self.agreement_ids)
@@ -385,7 +400,7 @@ class ShardExecutionNode(ExecutionNode):
         ordinary batch owns the requests this node's router maps here.
         """
         batch = message.batch
-        if map_change_of(batch.request_certificates) is not None:
+        if config_op_of(batch.request_certificates) is not None:
             owned: Tuple = ()
         elif self._cross_touched(batch.request_certificates,
                                  message.epoch) is not None:
@@ -400,7 +415,7 @@ class ShardExecutionNode(ExecutionNode):
             view=batch.view, request_certificates=owned,
             full_request_certificates=batch.request_certificates,
             agreement_certificate=batch.agreement_certificate,
-            nondet=batch.nondet, epoch=message.epoch)
+            nondet=batch.nondet, epoch=message.epoch, log=message.log)
 
     def _cross_touched(self, certificates: Tuple,
                        epoch: int) -> Optional[List[int]]:
@@ -465,10 +480,11 @@ class ShardExecutionNode(ExecutionNode):
         })
         if expected != body.batch_digest:
             return False
-        if map_change_of(batch.full_request_certificates) is not None:
-            # Cut marker: the agreement certificate just verified is the
-            # whole authority (2f + 1 commits bind the change through the
-            # batch digest); it owns no client requests by construction.
+        if config_op_of(batch.full_request_certificates) is not None:
+            # Config marker (partition cut, log-map cut, ...): the agreement
+            # certificate just verified is the whole authority (2f + 1
+            # commits bind the change through the batch digest); it owns no
+            # client requests by construction.
             return batch.request_certificates == ()
         touched = self._cross_touched(batch.full_request_certificates,
                                       batch.epoch)
@@ -536,6 +552,14 @@ class ShardExecutionNode(ExecutionNode):
             if change is not None:
                 self._execute_map_change(batch, change)
                 return
+            config_op = config_op_of(batch.full_request_certificates)
+            if config_op is not None:
+                # A config operation that is not a partition-map change
+                # (a log-map cut moving this cluster between agreement
+                # logs) consumes its slot like any marker; the multi-log
+                # wiring hooks the semantics.
+                self._execute_config_marker(batch, config_op)
+                return
             if batch.epoch != self.epoch:
                 # Defence in depth: an accepted binding always matches the
                 # in-stream epoch (markers and batches share one ordered
@@ -601,6 +625,28 @@ class ShardExecutionNode(ExecutionNode):
                 self._take_checkpoint(local.seq)
         if self._awaiting_ranges:
             self._arm_range_fetch()
+
+    def _execute_config_marker(self, local: ShardLocalBatch, op) -> None:
+        """Execute a non-partition config marker at its shard-local slot.
+
+        The slot bookkeeping (advance, empty reply, checkpoint) runs
+        *before* the ``on_config_marker`` hook: the reply must travel
+        under the membership that ordered the marker, because a log-map
+        cut is about to repoint this cluster's upstream at a different
+        agreement log.
+        """
+        self.max_executed = local.seq
+        self.batches_executed += 1
+        body = self._make_reply_body(local.view, local.seq, ())
+        self.replies_by_seq[local.seq] = self._send_reply(body)
+        self._trim_reply_cache()
+        if local.seq % self.config.checkpoint_interval == 0:
+            if self._awaiting_ranges or self._awaiting_txn is not None:
+                self._deferred_checkpoint = local.seq
+            else:
+                self._take_checkpoint(local.seq)
+        if self.on_config_marker is not None:
+            self.on_config_marker(self, op)
 
     # ------------------------------------------------------------------ #
     # Cross-shard operations at the consistent cut.
@@ -677,6 +723,20 @@ class ShardExecutionNode(ExecutionNode):
         if operation.kind == "txn":
             reads = dict(operation.args.get("reads", {}))
             writes = dict(operation.args.get("writes", {}))
+            if reads and self.config.multilog.enabled:
+                # Read-validating transactions are refused under multi-log
+                # ordering: two such markers ordered inversely by two logs
+                # would deadlock their vote rounds (each cluster blocked at
+                # its marker waiting for votes the other only emits past its
+                # own block).  The refusal is a pure function of static
+                # config and marker content, so every touched replica
+                # refuses identically -- no vote round ever opens.  Clients
+                # fail these locally; this branch is defence in depth
+                # against one smuggled past a correct client.
+                self._complete_cross_shard(local, request, touched,
+                                           "error", {})
+                self._finish_marker_slot(local)
+                return
             observed = self.app.snapshot_read(
                 [key for key in reads if self._key_owned(key)])
             if not reads:
@@ -718,7 +778,7 @@ class ShardExecutionNode(ExecutionNode):
         body = SubReplyBody(client=request.client, timestamp=request.timestamp,
                             shard=self.shard, epoch=self.epoch,
                             view=local.view, op_seq=local.global_seq,
-                            status=status, values=values)
+                            status=status, values=values, log=local.log)
         self.reply_table[request.client] = ReplyBody(
             view=local.view, seq=local.seq, timestamp=request.timestamp,
             client=request.client,
@@ -1016,8 +1076,7 @@ class ShardExecutionNode(ExecutionNode):
             return
         bodies = [collation.full_bodies[shard] for shard in collation.touched]
         first = bodies[0]
-        if any(body.status != first.status or body.epoch != first.epoch
-               or body.op_seq != first.op_seq for body in bodies):
+        if not sub_reply_rounds_consistent(bodies, self.log_of_shard):
             return  # mixed rounds; the marker resend converges them
         assembled: Dict[str, Any] = {}
         for body in bodies:

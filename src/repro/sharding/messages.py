@@ -116,6 +116,23 @@ def map_change_of(certificates: Tuple[Certificate, ...]) -> Optional[MapChange]:
     return None
 
 
+def config_op_of(
+        certificates: Tuple[Certificate, ...]) -> Optional[ConfigOperation]:
+    """The config operation carried by a batch, if it is a config batch.
+
+    The generic form of :func:`map_change_of`: exactly one certificate
+    whose payload is *any* :class:`ConfigOperation` subclass (a partition
+    :class:`MapChange`, a multi-log ``LogMapChange``, ...).  Execution
+    nodes use this to treat every config marker uniformly -- no owned
+    requests, an empty-batch reply -- while the routing layer branches on
+    the concrete type.
+    """
+    if (len(certificates) == 1
+            and isinstance(certificates[0].payload, ConfigOperation)):
+        return certificates[0].payload
+    return None
+
+
 def cross_shard_request_of(
         certificates: Tuple[Certificate, ...]) -> Optional[ClientRequest]:
     """The client request of a *candidate* cross-shard marker batch.
@@ -148,14 +165,21 @@ class ShardedBatch(Message):
     #: partition-map epoch the batch was routed under (part of the vouched
     #: route binding; map-change markers carry the epoch they *close*)
     epoch: int = 0
+    #: agreement log that ordered the batch (part of the vouched route
+    #: binding under multi-log ordering; None in single-log deployments,
+    #: where the field stays off the wire)
+    log: Optional[int] = None
 
     def payload_fields(self) -> Dict[str, Any]:
-        return {
+        fields = {
             "shard": self.shard,
             "shard_seq": self.shard_seq,
             "epoch": self.epoch,
             "batch": self.batch.to_wire(),
         }
+        if self.log is not None:
+            fields["log"] = self.log
+        return fields
 
     @property
     def padding_bytes(self) -> int:  # type: ignore[override]
@@ -182,9 +206,11 @@ class ShardLocalBatch(Message):
     agreement_certificate: Certificate
     nondet: NonDetInput
     epoch: int = 0
+    #: agreement log the batch arrived from (None in single-log deployments)
+    log: Optional[int] = None
 
     def payload_fields(self) -> Dict[str, Any]:
-        return {
+        fields = {
             "shard": self.shard,
             "n": self.seq,
             "gn": self.global_seq,
@@ -193,6 +219,9 @@ class ShardLocalBatch(Message):
             "requests": [cert.to_wire() for cert in self.full_request_certificates],
             "agreement": self.agreement_certificate.to_wire(),
         }
+        if self.log is not None:
+            fields["log"] = self.log
+        return fields
 
     @property
     def padding_bytes(self) -> int:  # type: ignore[override]
@@ -209,6 +238,7 @@ class ShardLocalBatch(Message):
         """Rebuild the routing envelope (peer fetches re-vote the binding)."""
         return ShardedBatch(
             shard=self.shard, shard_seq=self.seq, epoch=self.epoch,
+            log=self.log,
             batch=OrderedBatch(seq=self.global_seq, view=self.view,
                                request_certificates=self.full_request_certificates,
                                agreement_certificate=self.agreement_certificate,
@@ -302,9 +332,15 @@ class SubReplyBody(Message):
     op_seq: int
     status: str
     values: Dict[str, Any]
+    #: agreement log that ordered the marker at this shard's feed, judged
+    #: when the fragment was produced (None in single-log deployments).
+    #: ``op_seq`` lives in this log's sequence space; carrying the log in
+    #: the certified body lets verifiers group fragments by the map that
+    #: was actually in force at execution, not the map they see later.
+    log: Optional[int] = None
 
     def payload_fields(self) -> Dict[str, Any]:
-        return {
+        fields = {
             "xs-reply": self.status,
             "c": self.client.name,
             "t": self.timestamp,
@@ -314,6 +350,44 @@ class SubReplyBody(Message):
             "n": self.op_seq,
             "values": {key: self.values[key] for key in sorted(self.values)},
         }
+        if self.log is not None:
+            fields["log"] = self.log
+        return fields
+
+
+def sub_reply_rounds_consistent(bodies, log_of_shard=None) -> bool:
+    """Whether a set of :class:`SubReplyBody` fragments form one answer.
+
+    Every fragment of a cross-shard operation must report the same
+    ``status`` and ``epoch``.  With a single agreement log the marker has
+    one global sequence number, so ``op_seq`` must match everywhere too.
+    Under multi-log ordering each log assigns the marker its *own*
+    sequence number, so ``op_seq`` is only comparable within a log group
+    and the check relaxes to per-group equality.  Fragments group by the
+    certified ``log`` field they carry -- the log whose feed actually
+    delivered the marker to that shard, judged at execution -- so a
+    log-map change racing the marker cannot mis-group a shard that
+    legitimately executed under the old assignment (re-deriving the group
+    from the *current* map would wedge such an answer forever: cached
+    fragments never change).  ``log_of_shard`` (shard -> log at the
+    caller's current log epoch) remains the fallback for fragments from
+    peers that predate the stamp.
+    """
+    bodies = list(bodies)
+    if not bodies:
+        return True
+    first = bodies[0]
+    if any(body.status != first.status or body.epoch != first.epoch
+           for body in bodies):
+        return False
+    if log_of_shard is None:
+        return all(body.op_seq == first.op_seq for body in bodies)
+    per_log: Dict[int, int] = {}
+    for body in bodies:
+        log = body.log if body.log is not None else log_of_shard(body.shard)
+        if per_log.setdefault(log, body.op_seq) != body.op_seq:
+            return False
+    return True
 
 
 @dataclass(frozen=True)

@@ -189,11 +189,30 @@ class ShardRouterQueue(MessageQueue):
         self._staged_at[seq] = self.owner.now
         if self.owner.tracing:
             self._trace_requests(tuple(request_certificates), "stage")
-        while (self._released_seq + 1) in self._staged:
-            self._released_seq += 1
-            self._route_batch(self._staged.pop(self._released_seq))
-            self._note_checkpoint_cut(self._released_seq)
+        self._advance_release_frontier()
         self._g_staged.set(len(self._staged))
+
+    def _advance_release_frontier(self) -> None:
+        """Release staged batches in global order until a gap (or a hold).
+
+        ``_release_hold`` lets a subclass pause the frontier at a specific
+        batch -- the multi-log queue holds a cross-group marker until its
+        certified cross-log cut arrives -- and resume by calling this method
+        again once the hold clears.  The base queue never holds, so this is
+        exactly the old contiguous release loop.
+        """
+        while True:
+            next_batch = self._staged.get(self._released_seq + 1)
+            if next_batch is None or self._release_hold(next_batch):
+                return
+            self._released_seq += 1
+            del self._staged[self._released_seq]
+            self._route_batch(next_batch)
+            self._note_checkpoint_cut(self._released_seq)
+
+    def _release_hold(self, batch: OrderedBatch) -> bool:
+        """Whether the frontier must pause before releasing ``batch``."""
+        return False
 
     def _route_batch(self, batch: OrderedBatch) -> None:
         """Advance the per-shard frontiers over one released batch."""
@@ -242,6 +261,7 @@ class ShardRouterQueue(MessageQueue):
             shards = self.router.shards_of_certificates(certificates,
                                                         epoch=self.epoch)
             self._note_load(batch)
+        shards = self._owned_route_targets(batch, shards)
         if not shards:
             # Every request was excluded: the slot is vacuously answered so
             # the pipeline accounting never waits on a reply nobody owes.
@@ -255,7 +275,8 @@ class ShardRouterQueue(MessageQueue):
             self._next_shard_seq[shard] += 1
             shard_seq = self._next_shard_seq[shard]
             envelope = ShardedBatch(shard=shard, shard_seq=shard_seq,
-                                    batch=batch, epoch=self.epoch)
+                                    batch=batch, epoch=self.epoch,
+                                    log=self._ordering_log())
             self._unanswered[shard][shard_seq] = batch.seq
             pending = PendingSend(batch=envelope,
                                   timeout_ms=self.config.timers.agreement_retransmit_ms)
@@ -270,6 +291,24 @@ class ShardRouterQueue(MessageQueue):
             self._arm_shard_timer(pending)
         if change is not None:
             self._apply_cut(change)
+
+    def _owned_route_targets(self, batch: OrderedBatch, shards):
+        """The subset of ``shards`` this queue actually routes to.
+
+        The base queue owns every shard.  A multi-log queue owns only its
+        log group's shards and filters here, so a batch whose targets all
+        live in other groups falls through to the vacuous-answer path and
+        the pipeline accounting never waits on a reply another log's
+        clusters owe.
+        """
+        return shards
+
+    def _ordering_log(self):
+        """The agreement log this queue orders for (stamped into routed
+        envelopes and carried through to sub-reply fragments, whose marker
+        sequence numbers live in per-log spaces).  None for the single-log
+        base queue, which keeps the field off the wire."""
+        return None
 
     def _cross_shard_marker_of(self, batch: OrderedBatch):
         """The batch's client request if it is a cross-shard marker here.
@@ -491,10 +530,7 @@ class ShardRouterQueue(MessageQueue):
             self._staged_at.pop(stale, None)
         if seq > self._released_seq:
             self._released_seq = seq
-            while (self._released_seq + 1) in self._staged:
-                self._released_seq += 1
-                self._route_batch(self._staged.pop(self._released_seq))
-                self._note_checkpoint_cut(self._released_seq)
+            self._advance_release_frontier()
         self._g_staged.set(len(self._staged))
         if seq > self.highest_reply_seq:
             self.highest_reply_seq = seq

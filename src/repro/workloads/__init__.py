@@ -32,9 +32,11 @@ from .andrew import AndrewResult, AndrewScale, andrew_phase_operations, run_andr
 from .crossshard import (
     AuditResult,
     CrossShardWindowResult,
+    audit_cross_group_consistency,
     audit_key,
     audit_snapshot_consistency,
     const_key,
+    mixed_cross_group_operations,
     mixed_cross_shard_operations,
     run_crossshard_window,
     seed_operations,
@@ -43,9 +45,11 @@ from .crossshard import (
 __all__ = [
     "AuditResult",
     "CrossShardWindowResult",
+    "audit_cross_group_consistency",
     "audit_key",
     "audit_snapshot_consistency",
     "const_key",
+    "mixed_cross_group_operations",
     "mixed_cross_shard_operations",
     "run_crossshard_window",
     "seed_operations",

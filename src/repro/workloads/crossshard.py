@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..apps.kvstore import get as kv_get
 from ..apps.kvstore import multi_get, put as kv_put, transaction
@@ -122,6 +122,59 @@ def mixed_cross_shard_operations(num_requests: int, *, key_space: int = 64,
     return operations
 
 
+def mixed_cross_group_operations(num_requests: int, *, key_space: int = 64,
+                                 num_shards: int = 4,
+                                 multi_fraction: float = 0.1,
+                                 txn_fraction: float = 0.3,
+                                 write_fraction: float = 0.5,
+                                 value_size: int = 32,
+                                 audit_shards: Optional[Sequence[int]] = None,
+                                 max_span: Optional[int] = None,
+                                 seed: int = 0) -> List:
+    """The multi-log variant of the mixed workload: uniform single-key
+    traffic plus a ``multi_fraction`` slice of multi-shard operations whose
+    transactions are **write-only** (empty read set).
+
+    A multi-log deployment refuses read-validating cross-shard transactions
+    (the vote round cannot pin one snapshot across independently ordered
+    logs), so the cross-group slice uses snapshot reads and blind write
+    transactions only.  The audit domain is ``audit_shards`` (default: all
+    shards): committed writers stamp *every* audit key in the domain and
+    snapshot reads sample at least two of them, so
+    :func:`audit_snapshot_consistency` catches a torn cross-log cut exactly
+    as it catches a torn single-log release.  Passing one shard per log
+    keeps every multi-shard operation cross-group while bounding its span.
+    """
+    rng = random.Random(seed)
+    domain = sorted(audit_shards) if audit_shards else list(range(num_shards))
+    widest = min(max_span or len(domain), len(domain))
+    operations = []
+    stamp = 0
+    for _ in range(num_requests):
+        if rng.random() >= multi_fraction:
+            index = rng.randrange(key_space)
+            key = f"key-{index:05d}"
+            if rng.random() < write_fraction:
+                operations.append(kv_put(key, "v" * value_size))
+            else:
+                operations.append(kv_get(key))
+            continue
+        span = rng.randint(2, widest)
+        shards = sorted(rng.sample(domain, span))
+        if rng.random() < txn_fraction:
+            stamp += 1
+            writes = {audit_key(key_space, num_shards, shard): stamp
+                      for shard in domain}
+            operations.append(transaction(reads={}, writes=writes))
+        else:
+            keys = [audit_key(key_space, num_shards, shard)
+                    for shard in shards]
+            if rng.random() < 0.5:
+                keys.append(f"key-{rng.randrange(key_space):05d}")
+            operations.append(multi_get(keys))
+    return operations
+
+
 def is_audit_read(operation) -> bool:
     """Whether a completed operation is a multi-key read over audit keys."""
     if operation.kind != "multi_get":
@@ -180,6 +233,58 @@ def audit_snapshot_consistency(clients) -> AuditResult:
                       if key.endswith("-x-aud")]
             audited += 1
             if len(set(stamps)) > 1:
+                torn += 1
+    return AuditResult(audited_reads=audited, torn_reads=torn,
+                       committed_txns=committed, aborted_txns=aborted,
+                       conflict_commits=conflict_commits)
+
+
+def audit_cross_group_consistency(clients, *, key_space: int = 0,
+                                  num_shards: int = 0,
+                                  log_of_shard,
+                                  shard_of_key=None) -> AuditResult:
+    """Audit multi-shard replies against the *multi-log* contract.
+
+    Independent agreement logs may order two concurrent cross-group
+    markers inversely (serialising them is the deferred MVBA cut-ordering
+    work), so a snapshot read spanning log groups only promises per-group
+    atomicity: all audit stamps served by shards of *one* log must be
+    equal -- each log releases a marker's envelopes to its own shards at a
+    single slot of its order.  A within-group tear is therefore still a
+    protocol violation and is what this audit counts.
+
+    ``shard_of_key`` (audit key -> shard, or ``None`` to skip the key)
+    overrides the default equal-range audit-key table -- callers holding a
+    live partitioner can resolve ownership without knowing the key space.
+    """
+    if shard_of_key is None:
+        shard_of_key = {audit_key(key_space, num_shards, shard): shard
+                        for shard in range(num_shards)}.get
+    audited = torn = committed = aborted = conflict_commits = 0
+    for client in clients:
+        for record in client.completed:
+            operation = record.operation
+            value = record.result.value
+            if operation.kind == "txn" and isinstance(value, dict):
+                if value.get("committed"):
+                    committed += 1
+                    if is_conflict_txn(operation):
+                        conflict_commits += 1
+                else:
+                    aborted += 1
+                continue
+            if not is_audit_read(operation) or not isinstance(value, dict):
+                continue
+            values = value.get("values", {})
+            by_log = {}
+            for key in operation.args["keys"]:
+                shard = shard_of_key(key)
+                if shard is None:
+                    continue
+                by_log.setdefault(log_of_shard(shard), []).append(
+                    values.get(key))
+            audited += 1
+            if any(len(set(stamps)) > 1 for stamps in by_log.values()):
                 torn += 1
     return AuditResult(audited_reads=audited, torn_reads=torn,
                        committed_txns=committed, aborted_txns=aborted,
