@@ -70,6 +70,14 @@ def _ordering_summary(results: Dict) -> str:
             f"{cross['cut_fallovers']} fallovers")
 
 
+def _realtime_summary(results: Dict) -> str:
+    realtime = results["realtime"]
+    gate = ("gated" if realtime["speedup_gated"]
+            else f"ungated on {results['cores']} cores")
+    return (f"wall-clock {realtime['pool']['committed_per_s']:.1f} committed/s, "
+            f"crypto-pool speedup {realtime['speedup']:.2f}x ({gate})")
+
+
 def _crossshard_summary(results: Dict) -> str:
     audit = results["audit"]
     return (f"mixed/single throughput ratio "
@@ -109,6 +117,11 @@ GATES: Dict[str, Dict] = {
         "script": "bench_ordering_scaling.py",
         "baseline": "ordering_baseline.json",
         "summary": _ordering_summary,
+    },
+    "realtime": {
+        "script": "bench_realtime.py",
+        "baseline": "realtime_baseline.json",
+        "summary": _realtime_summary,
     },
 }
 

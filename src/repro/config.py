@@ -545,6 +545,91 @@ class ObservabilityConfig:
 
 
 @dataclass(frozen=True)
+class CryptoPoolConfig:
+    """Parallel certificate verification for the real (asyncio) runtime.
+
+    When enabled, the asyncio transport pre-verifies the MAC / signature /
+    threshold authenticators carried by each inbound message in a
+    ``concurrent.futures.ProcessPoolExecutor`` *before* handing the message
+    to its destination node, and records the successful facts in that
+    node's :class:`~repro.crypto.cache.VerifiedCertificateCache`.  The
+    in-handler verification then hits the cache and charges nothing, so the
+    cryptographic work parallelises across cores while the protocol-level
+    verification semantics (success-only memoisation, per-node caches,
+    failures re-checked inline) are exactly those of the simulator.
+
+    The pool is meaningless under the virtual-time simulator -- simulated
+    crypto charges are bookkeeping, not CPU -- so ``enabled=True`` requires
+    ``RuntimeConfig.backend == "asyncio"``.
+
+    ``workers``
+        Process-pool size; ``None`` sizes it to ``os.cpu_count()``.
+    ``min_batch``
+        Messages carrying fewer verification jobs than this are verified
+        inline (the job is too small to amortise a pool round trip).
+    """
+
+    enabled: bool = False
+    workers: Optional[int] = None
+    min_batch: int = 1
+
+    def validate(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(
+                "crypto pool workers must be at least 1 (or None to size "
+                "the pool to the host)")
+        if self.min_batch < 1:
+            raise ConfigurationError("crypto pool min_batch must be at least 1")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Which runtime backend executes the deployment.
+
+    ``backend="sim"`` (the default) is the deterministic virtual-time
+    simulator every test, benchmark, and fuzz campaign runs on.
+    ``backend="asyncio"`` runs the same protocol objects as asyncio tasks
+    exchanging pickled wire messages over real localhost TCP sockets, with
+    wall-clock timers; see :mod:`repro.runtime.asyncio_rt` for the
+    invariants it preserves and the ones (determinism, fault injection)
+    it deliberately gives up.
+
+    ``charge_scale``
+        Real-runtime cost emulation: every virtual millisecond a node
+        charges (crypto, app execution) is burned as ``charge_scale``
+        real milliseconds of CPU.  ``0.0`` (default) makes charges free,
+        which is right for functional parity tests; benchmarks set it
+        positive so the configured cost model -- built to mimic asymmetric
+        crypto far heavier than the stdlib HMACs standing in for it --
+        shapes wall-clock results too.  Cache-hit verifications charge
+        nothing and therefore burn nothing, exactly as in the simulator.
+    ``poll_interval_ms``
+        How often (wall milliseconds) ``run_until`` re-checks its
+        predicate while the event loop runs.
+    """
+
+    backend: str = "sim"
+    charge_scale: float = 0.0
+    poll_interval_ms: float = 0.5
+    crypto_pool: CryptoPoolConfig = field(default_factory=CryptoPoolConfig)
+
+    def validate(self) -> None:
+        if self.backend not in ("sim", "asyncio"):
+            raise ConfigurationError(
+                f"runtime backend must be 'sim' or 'asyncio', got {self.backend!r}")
+        if self.charge_scale < 0:
+            raise ConfigurationError("charge_scale must be non-negative")
+        if self.poll_interval_ms <= 0:
+            raise ConfigurationError("poll_interval_ms must be positive")
+        self.crypto_pool.validate()
+        if self.crypto_pool.enabled and self.backend != "asyncio":
+            raise ConfigurationError(
+                "the crypto pool parallelises real CPU work and therefore "
+                "requires the 'asyncio' runtime backend (simulated crypto "
+                "charges are virtual-time bookkeeping)")
+
+
+@dataclass(frozen=True)
 class TimerConfig:
     """Retransmission and view-change timers (virtual milliseconds)."""
 
@@ -646,6 +731,7 @@ class SystemConfig:
     batching: BatchingConfig = field(default_factory=BatchingConfig)
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -715,6 +801,7 @@ class SystemConfig:
         self.batching.validate()
         self.pipeline.validate()
         self.observability.validate()
+        self.runtime.validate()
 
     # ------------------------------------------------------------------ #
     # Cluster sizes (the paper's replication-cost arithmetic).

@@ -19,6 +19,25 @@ optional per-client reply cache ``cache_c``.
 * Pipeline back-pressure: the agreement replica will not start sequence
   number ``n`` until the queue has seen a reply for ``n - P``
   (:meth:`highest_ready_seq`).
+
+Runtime-backend contract
+------------------------
+The queue is deliberately runtime-agnostic: it leans only on the invariants
+the :class:`~repro.runtime.interface.Runtime` seam guarantees on *every*
+backend, which is why it runs unmodified over real sockets:
+
+* Its handlers are atomic (no interleaving on one node), so quorum
+  accumulation in ``_ReplyCollector`` needs no locking anywhere.
+* Retransmission timers rely only on one-shot ``call_after`` semantics and
+  ``Timer.cancel()``; nothing assumes virtual time or same-instant firing
+  order.
+* Duplicate replies and re-deliveries are handled by sequence-number
+  checks, not by assuming exactly-once transport; the transport only
+  promises *at most* once per send, per-link FIFO.
+* Reply-certificate verification goes through the node's
+  ``VerifiedCertificateCache``: a real backend's crypto pool pre-warms
+  that cache from worker processes, which is invisible here beyond the
+  verify call returning without charge.
 """
 
 from __future__ import annotations

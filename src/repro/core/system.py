@@ -18,12 +18,10 @@ from ..agreement.replica import AgreementReplica
 from ..config import AuthenticationScheme, Deployment, SystemConfig
 from ..crypto.keys import Keystore
 from ..errors import ConfigurationError, LivenessTimeoutError
-from ..net.faults import NetworkFaultModel
-from ..net.network import Network
 from ..net.topology import Topology
 from ..obs import ObservabilityHub, TraceEvent
+from ..runtime import build_runtime
 from ..sim.process import Process
-from ..sim.scheduler import Scheduler
 from ..util.wirecache import WIRE_CACHE
 from ..statemachine.interface import Operation, StateMachine
 from ..util.ids import NodeId, agreement_id, client_id, execution_id
@@ -40,7 +38,16 @@ class SimulatedSystem:
 
     def __init__(self, config: SystemConfig, seed: Optional[int] = None) -> None:
         self.config = config
-        self.scheduler = Scheduler(seed if seed is not None else config.seed)
+        self.keystore = Keystore()
+        # The runtime backend supplies the scheduler/network pair: the
+        # deterministic virtual-time simulator by default, or the asyncio
+        # real-socket backend when config.runtime selects it.  Everything
+        # downstream (nodes, certificates, caches, drivers) is identical
+        # across backends.
+        self.runtime = build_runtime(
+            config, seed if seed is not None else config.seed,
+            keystore=self.keystore)
+        self.scheduler = self.runtime.scheduler
         # The observability hub must be installed before any Process is
         # constructed: each node captures its registry and tracing flag in
         # Process.__init__.  The hub is strictly passive (no charges, no
@@ -49,9 +56,7 @@ class SimulatedSystem:
         self.obs = ObservabilityHub(config.observability)
         self.scheduler.obs = self.obs
         self.obs.register_global_probe("wire_cache", WIRE_CACHE.snapshot)
-        self.keystore = Keystore()
-        faults = NetworkFaultModel(config.network, self.scheduler.random.fork("network"))
-        self.network = Network(self.scheduler, topology=Topology.full(), faults=faults)
+        self.network = self.runtime.network
         self.clients: List[ClientNode] = []
 
     # ------------------------------------------------------------------ #
@@ -71,6 +76,16 @@ class SimulatedSystem:
                   description: str = "condition") -> float:
         """Run until ``predicate`` holds; raises LivenessTimeoutError otherwise."""
         return self.scheduler.run_until(predicate, timeout_ms, description)
+
+    def close(self) -> None:
+        """Release runtime resources (sockets, pools; a no-op on the simulator)."""
+        self.runtime.close()
+
+    def __enter__(self) -> "SimulatedSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Issuing requests.

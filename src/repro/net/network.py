@@ -6,6 +6,31 @@ through a :class:`~repro.net.topology.Topology` and a
 topology (raising :class:`TopologyError` on forbidden links), asks the fault
 model what to do with the transmission, and schedules zero or more delivery
 events on the destination process.
+
+Runtime-backend contract
+------------------------
+This class is the network half of the
+:class:`~repro.runtime.interface.Runtime` seam; the socket transport in
+:mod:`repro.runtime.asyncio_rt` substitutes for it.  Invariants a
+replacement must preserve, because protocol code assumes them:
+
+* **Per-link FIFO.**  Two messages sent ``a -> b`` are delivered in send
+  order (here: equal fault-model delays break ties by send order; over
+  real sockets: one ordered TCP stream per directed pair).  No ordering
+  is promised across *different* links.
+* **At-most-once delivery.**  A ``send`` yields zero or one delivery --
+  never duplicates.  Retransmission is the protocol's job.
+* **Taps before transport.**  Registered taps see every send in
+  registration order and may rewrite or swallow it (:data:`DROP`); a
+  dropped message consumes no transport resources and is invisible to
+  the destination.
+* **Crash drops.**  Delivery to a crashed process is silently discarded
+  at delivery time (not send time -- a node that crashes mid-flight
+  still loses the message).
+* **Fault-model scope.**  Configured delays, drops, partitions, and
+  reordering are a *simulator* feature: a real transport inherits the
+  loss/latency behaviour of its substrate instead, and tests that shape
+  faults must run on the simulator backend.
 """
 
 from __future__ import annotations

@@ -1,0 +1,19 @@
+"""Pluggable runtimes: one protocol stack, two execution substrates.
+
+``build_runtime`` dispatches on :class:`repro.config.RuntimeConfig`:
+
+* ``backend="sim"`` -- the deterministic virtual-time simulator
+  (:class:`~repro.runtime.sim_rt.SimRuntime`), the substrate every test,
+  gate benchmark, and fuzz campaign runs on;
+* ``backend="asyncio"`` -- real localhost sockets, wall-clock timers, and
+  an optional process pool for parallel certificate verification
+  (:class:`~repro.runtime.asyncio_rt.AsyncioRuntime`).
+
+See :mod:`repro.runtime.interface` for the contract a backend implements
+and ``docs/ARCHITECTURE.md`` for where the seam sits in the system.
+"""
+
+from .interface import Runtime, build_runtime
+from .sim_rt import SimRuntime
+
+__all__ = ["Runtime", "build_runtime", "SimRuntime"]

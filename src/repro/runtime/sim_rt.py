@@ -1,0 +1,41 @@
+"""The virtual-time backend: the deterministic simulator, unchanged.
+
+This wrapper exists so :class:`repro.core.system.SimulatedSystem` can build
+every deployment through :func:`repro.runtime.build_runtime`; it constructs
+exactly the objects (and in exactly the order) the system builder
+constructed before the runtime seam existed, so simulation results are
+bit-identical to the pre-refactor code.  CI's obs-overhead job and the
+gate-benchmark baselines effectively pin that equivalence.
+
+Everything that makes the simulator the repo's test substrate lives
+downstream of here untouched: the discrete-event
+:class:`~repro.sim.scheduler.Scheduler`, the fault-model-driven
+:class:`~repro.net.network.Network`, and the per-label
+:class:`~repro.sim.rand.DeterministicRandom` forks.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from ..net.faults import NetworkFaultModel
+from ..net.network import Network
+from ..net.topology import Topology
+from ..sim.scheduler import Scheduler
+from .interface import Runtime
+
+
+class SimRuntime(Runtime):
+    """Deterministic virtual-time scheduler + simulated network."""
+
+    backend = "sim"
+
+    def __init__(self, config: SystemConfig, seed: int) -> None:
+        self.config = config
+        self.scheduler = Scheduler(seed)
+        faults = NetworkFaultModel(config.network,
+                                   self.scheduler.random.fork("network"))
+        self.network = Network(self.scheduler, topology=Topology.full(),
+                               faults=faults)
+
+    def close(self) -> None:
+        """Nothing to release: the simulator holds no external resources."""

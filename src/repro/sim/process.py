@@ -13,6 +13,29 @@ This per-node serialization is what makes the throughput experiments
 (Figure 5) meaningful: an execution node that spends 15 ms producing a
 threshold signature for every reply saturates at ~66 requests/second, exactly
 the effect the paper reports.
+
+Runtime-backend contract
+------------------------
+``Process`` is runtime-agnostic: it talks to *a* scheduler and *a* network
+(see :mod:`repro.runtime.interface`).  Any backend hosting processes must
+preserve these invariants, which protocol code relies on:
+
+* **Handler atomicity.**  ``on_message`` / timer callbacks never interleave
+  on one node: a handler runs to completion before the next delivery or
+  timer fire is processed.  The simulator gets this from busy-deferral on a
+  single event queue; the asyncio backend from synchronous handlers on a
+  single-threaded loop.
+* **Send-after-handler.**  Messages sent inside a handler enter the network
+  when the handler's charged work completes (the outbox flush), never
+  mid-handler -- so a node's outbound messages reflect its post-handler
+  state.
+* **Charges are exclusive occupancy.**  ``charge(ms)`` models work that
+  occupies the node: under the simulator it extends ``busy_until`` (later
+  deliveries defer); under a real backend it may burn CPU instead (the
+  ``_burn`` hook).  Either way, a verification that hits the certificate
+  cache charges nothing.
+* **Crash semantics.**  A crashed node silently drops deliveries, timer
+  fires, and sends; ``recover()`` only clears the flag.
 """
 
 from __future__ import annotations
@@ -72,6 +95,10 @@ class Process:
         self.metrics = self.obs.registry_for(node_id.name)
         self.tracing = self.obs.tracer.enabled
         self.crashed = False
+        #: real-runtime cost hook: when set (by a real backend's network at
+        #: registration), ``charge`` burns CPU through it instead of doing
+        #: virtual-time accounting.  ``None`` under the simulator.
+        self._burn: Optional[Callable[[float], None]] = None
         self._busy_until = 0.0
         self._in_handler = False
         self._pending_cost = 0.0
@@ -182,9 +209,18 @@ class Process:
 
         Outside of a handler (e.g. during setup) the charge is recorded as
         busy time starting now.
+
+        Under a real-time backend (``_burn`` set) the charge is burned as
+        actual CPU immediately and only tallied in ``stats.busy_ms``: the
+        wall clock, not virtual accounting, then determines when this node
+        gets to its next message.
         """
         if milliseconds < 0:
             raise SimulationError("cannot charge negative processing time")
+        if self._burn is not None:
+            self._burn(milliseconds)
+            self.stats.busy_ms += milliseconds
+            return
         if self._in_handler:
             self._pending_cost += milliseconds
         else:

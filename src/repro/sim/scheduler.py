@@ -4,6 +4,32 @@ The scheduler owns the virtual clock and the event queue and is the only
 component allowed to advance time.  Protocol code interacts with it through
 :meth:`Scheduler.call_at` / :meth:`Scheduler.call_after` (one-shot callbacks)
 and the :class:`Timer` handles they return.
+
+Runtime-backend contract
+------------------------
+This class is the reference implementation of the scheduler half of the
+:class:`~repro.runtime.interface.Runtime` seam.  Any replacement clock
+(e.g. the wall-clock scheduler in :mod:`repro.runtime.asyncio_rt`) must
+preserve the surface protocol code actually uses, with these semantics:
+
+* **Timer semantics.**  ``call_at`` / ``call_after`` schedule one-shot
+  callbacks and return handles exposing ``deadline``, ``active`` (true
+  until fired or cancelled -- event state, never a clock comparison), and
+  ``cancel()`` (idempotent, no-op after firing).  ``call_after`` rejects
+  negative delays.  Two timers for the same instant fire in creation
+  order under the simulator; real backends may not guarantee this and
+  protocol code must not rely on it.
+* **Monotonic time.**  ``now`` (milliseconds) never decreases, and only
+  the scheduler advances it.  Under the simulator time jumps between
+  events and is exact; real backends derive it from a monotonic clock.
+* **Determinism contract.**  ``random`` is the *only* entropy source
+  protocol code may touch; it is seeded once and forked by label, so a
+  given seed yields a bit-identical run under the simulator.  Real
+  backends keep the same RNG (protocol-level draws stay reproducible)
+  but lose run-level determinism to socket and OS-thread timing.
+* **Progress accounting.**  ``events_processed`` increases monotonically
+  with each dispatched event; protocol code uses it only for memoisation
+  stamps ("did anything happen since I last looked"), never as a clock.
 """
 
 from __future__ import annotations
